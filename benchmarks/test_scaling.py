@@ -1,0 +1,94 @@
+"""The paper's in-text scaling claim.
+
+"Compared to existing techniques, this modular partitioning method
+achieves many orders of magnitude of performance improvement in terms of
+computing time" -- the gap grows with specification size (mr0: 2.8 s vs
+>3600 s).  This bench sweeps a parametric master-read-style family of
+increasing width and measures both methods, recording where the direct
+method starts hitting its budget while the modular method keeps scaling.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.generators import Par, build_g
+from repro.csc.direct import direct_synthesis
+from repro.csc.errors import BacktrackLimitError
+from repro.csc.synthesis import modular_synthesis
+from repro.sat.solver import Limits
+from repro.stategraph.build import build_state_graph
+from repro.stg import parse_g
+
+WIDTHS = [1, 2, 3]
+
+DIRECT_LIMITS = Limits(max_backtracks=60_000, max_seconds=10.0)
+
+
+def family(width):
+    """Master-read-style controller with ``width`` data-path handshakes.
+
+    Half-handshake branches keep per-branch codes monotone; the single
+    completion-pulse branch carries the CSC conflict, so the instance
+    family grows in states (~3^width) while the conflict structure stays
+    fixed -- isolating the scaling behaviour of the two methods.
+    """
+    branches = [
+        [f"d{i}+", f"q{i}+"] for i in range(1, width + 1)
+    ]
+    branches.append(["w+", "w-", "w+"])
+    falling = [[f"d{i}-", f"q{i}-"] for i in range(1, width + 1)]
+    falling.append(["w-"])
+    text = build_g(
+        f"family-{width}",
+        inputs=["r"] + [f"d{i}" for i in range(1, width + 1)],
+        outputs=["a", "e", "w"] + [f"q{i}" for i in range(1, width + 1)],
+        cycle=(
+            ["r+", Par(*branches), "a+", "r-", Par(*falling), "a-",
+             "e+", "e-"]
+        ),
+    )
+    return build_state_graph(parse_g(text))
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {width: family(width) for width in WIDTHS}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_modular_scaling(benchmark, graphs, width):
+    graph = graphs[width]
+    result = run_once(benchmark, modular_synthesis, graph, minimize=False)
+    benchmark.extra_info.update(
+        {
+            "width": width,
+            "states": graph.num_states,
+            "final_signals": result.final_signals,
+        }
+    )
+    assert result.state_signals >= 1
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_direct_scaling(benchmark, graphs, width):
+    graph = graphs[width]
+
+    def flow():
+        try:
+            return direct_synthesis(
+                graph, limits=DIRECT_LIMITS, minimize=False, engine="dpll"
+            )
+        except BacktrackLimitError as exc:
+            return exc
+
+    result = run_once(benchmark, flow)
+    aborted = isinstance(result, BacktrackLimitError)
+    benchmark.extra_info.update(
+        {
+            "width": width,
+            "states": graph.num_states,
+            "aborted": aborted,
+        }
+    )
+    if width == 1:
+        assert not aborted, "direct method should manage the small instance"

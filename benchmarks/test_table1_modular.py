@@ -1,0 +1,41 @@
+"""Table 1, "Our Method (Decomposition)" columns.
+
+One bench per benchmark STG: the full modular partitioning flow (input
+set derivation, modular SAT, propagation, expansion, two-level
+minimisation).  ``extra_info`` records the measured final states/signals/
+area next to the paper's row.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_row, run_once
+from repro.bench.suite import benchmark_names
+from repro.csc.synthesis import modular_synthesis
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_modular(benchmark, state_graphs, name):
+    graph = state_graphs(name)
+    result = run_once(benchmark, modular_synthesis, graph)
+
+    info = paper_row(name)
+    benchmark.extra_info.update(
+        {
+            "benchmark": name,
+            "initial_states": result.initial_states,
+            "initial_signals": result.initial_signals,
+            "final_states": result.final_states,
+            "final_signals": result.final_signals,
+            "area_literals": result.literals,
+            "paper_final_states": info.ours.final_states,
+            "paper_final_signals": info.ours.final_signals,
+            "paper_area": info.ours.area,
+            "paper_cpu_sparc2": info.ours.cpu,
+            "num_modules": len(result.modules),
+            "formula_sizes": result.formula_sizes(),
+        }
+    )
+    # Reproduction shape assertions: CSC solved, state signals inserted.
+    assert result.state_signals >= 1
+    assert result.final_states >= result.initial_states
+    assert result.literals > 0

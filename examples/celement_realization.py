@@ -1,0 +1,57 @@
+"""Compare the two implementation styles on one benchmark.
+
+Style 1: one complex gate per signal computing its full next-state
+function (the paper's area metric).  Style 2: a generalised C-element
+per signal, with separate SET and RESET networks covering just the
+excitation regions -- the style most speed-independent design flows
+target.
+
+Usage::
+
+    python examples/celement_realization.py [benchmark]
+"""
+
+import sys
+
+from repro.bench import BENCHMARKS, load_benchmark
+from repro.csc import modular_synthesis
+from repro.logic import equations, synthesize_celements
+from repro.logic.extract import synthesize_logic
+from repro.logic.format import cover_to_expression
+from repro.stategraph import build_state_graph
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "sbuf-read-ctl"
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}")
+
+    stg = load_benchmark(name)
+    result = modular_synthesis(build_state_graph(stg), minimize=False)
+    graph = result.expanded
+    names = list(graph.signals)
+
+    covers, complex_literals = synthesize_logic(graph)
+    implementations, celement_literals = synthesize_celements(graph)
+
+    print(f"{name}: {result.final_signals} signals after synthesis\n")
+    print(f"complex-gate style: {complex_literals} literals")
+    for line in equations(covers, graph.signals):
+        print(f"  {line}")
+
+    print(f"\ngeneralised C-element style: {celement_literals} literals")
+    for signal in sorted(implementations):
+        impl = implementations[signal]
+        set_expr = cover_to_expression(impl.set_cover, names)
+        reset_expr = cover_to_expression(impl.reset_cover, names)
+        print(f"  {signal}: set = {set_expr}")
+        print(f"  {signal:>{len(signal)}}  reset = {reset_expr}")
+
+    delta = complex_literals - celement_literals
+    comparison = "saves" if delta > 0 else "costs"
+    print(f"\nC-element realisation {comparison} {abs(delta)} literal(s) "
+          f"on this controller")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Design a custom asynchronous DMA-grant controller from scratch.
+
+This walks the whole API surface a designer would touch:
+
+1. build the STG with the phase-cycle generator (a request forks two
+   concurrent engine handshakes, a done pulse closes the cycle);
+2. validate the specification (1-safe, consistent, live);
+3. inspect the state graph and its CSC conflicts;
+4. synthesise with the modular method;
+5. check the resulting covers for static hazards.
+
+Run with::
+
+    python examples/custom_controller.py
+"""
+
+from repro.bench.generators import Par, build_g
+from repro.csc import modular_synthesis
+from repro.logic import equations
+from repro.logic.extract import next_state_tables
+from repro.logic.hazards import hazard_free_patch, static_hazards
+from repro.stategraph import build_state_graph, csc_conflicts
+from repro.stg import parse_g, validate_stg
+from repro.verify import verify_synthesis
+
+
+def design_stg():
+    """A DMA-grant controller: req forks two engines, done acknowledges."""
+    text = build_g(
+        "dma-grant",
+        inputs=["req", "e1", "e2"],
+        outputs=["g1", "g2", "done"],
+        cycle=[
+            "req+",
+            Par(["g1+", "e1+"], ["g2+", "e2+"]),
+            "done+",
+            "req-",
+            Par(["g1-", "e1-"], ["g2-", "e2-"]),
+            "done-",
+        ],
+    )
+    print("generated .g specification:\n")
+    print(text)
+    return parse_g(text)
+
+
+def main():
+    stg = design_stg()
+    validate_stg(stg, require_live=True)
+    print("validation: 1-safe, consistent, live\n")
+
+    graph = build_state_graph(stg)
+    conflicts = csc_conflicts(graph)
+    print(f"state graph: {graph.num_states} states, "
+          f"{graph.num_edges} edges")
+    print(f"CSC conflicts: {len(conflicts)} pair(s)")
+    for a, b in conflicts:
+        print(f"  states {a} and {b} share code "
+              f"{''.join(map(str, graph.code_of(a)))} but excite "
+              f"{dict(graph.excitation(a))} vs {dict(graph.excitation(b))}")
+
+    result = modular_synthesis(graph)
+    print(f"\nsynthesised with {result.state_signals} state signal(s); "
+          f"{result.literals} literals\n")
+    for line in equations(result.covers, result.expanded.signals):
+        print(f"  {line}")
+
+    report = verify_synthesis(result, stg)
+    print(f"\ngate-level conformance: conforms={report.conforms} "
+          f"({report.states_explored} closed-loop states explored)")
+
+    print("\nstatic hazard analysis")
+    tables = next_state_tables(result.expanded)
+    clean = True
+    for signal, cover in sorted(result.covers.items()):
+        onset, _offset = tables[signal]
+        hazards = static_hazards(cover, onset)
+        if hazards:
+            clean = False
+            patches = hazard_free_patch(cover, hazards)
+            print(f"  {signal}: {len(hazards)} static-1 hazard pair(s); "
+                  f"{len(patches)} consensus cube(s) would remove them")
+        else:
+            print(f"  {signal}: hazard-free cover")
+    if clean:
+        print("  all covers are static-hazard-free as minimised")
+
+
+if __name__ == "__main__":
+    main()

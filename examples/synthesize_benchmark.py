@@ -1,0 +1,74 @@
+"""Synthesise a Table-1 benchmark with all three methods and compare.
+
+Usage::
+
+    python examples/synthesize_benchmark.py [benchmark] [--budget SECONDS]
+
+Default benchmark: ``nak-pa`` (the NAK protocol adapter).  Use
+``python -m repro.bench.table1`` for the full 23-benchmark table.
+"""
+
+import argparse
+
+from repro.baselines import lavagno_synthesis
+from repro.bench import BENCHMARKS, load_benchmark
+from repro.csc import BacktrackLimitError, direct_synthesis, modular_synthesis
+from repro.sat import Limits
+from repro.stategraph import build_state_graph
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="nak-pa",
+                        choices=sorted(BENCHMARKS))
+    parser.add_argument("--budget", type=float, default=20.0,
+                        help="direct-method time budget in seconds")
+    args = parser.parse_args()
+
+    info = BENCHMARKS[args.benchmark]
+    stg = load_benchmark(args.benchmark)
+    graph = build_state_graph(stg)
+    print(f"{args.benchmark}: {graph.num_states} states, "
+          f"{len(graph.signals)} signals "
+          f"(paper: {info.initial_states} states, "
+          f"{info.initial_signals} signals)")
+
+    rows = []
+
+    modular = modular_synthesis(graph)
+    rows.append(("modular (paper's method)", modular.final_signals,
+                 modular.final_states, modular.literals, modular.seconds))
+
+    limits = Limits(max_backtracks=200_000, max_seconds=args.budget)
+    try:
+        direct = direct_synthesis(graph, limits=limits)
+        rows.append(("direct (Vanbekbergen)", direct.final_signals,
+                     direct.final_states, direct.literals, direct.seconds))
+    except BacktrackLimitError as exc:
+        rows.append(("direct (Vanbekbergen)", None, None, None,
+                     exc.seconds))
+
+    lavagno = lavagno_synthesis(
+        graph, limits=Limits(max_backtracks=100_000, max_seconds=10.0)
+    )
+    rows.append(("lavagno/moon baseline", lavagno.final_signals,
+                 lavagno.final_states, lavagno.literals, lavagno.seconds))
+
+    print(f"\n{'method':26} {'signals':>8} {'states':>7} "
+          f"{'area':>5} {'time':>8}")
+    for name, signals, states, area, seconds in rows:
+        if signals is None:
+            print(f"{name:26} {'-- SAT backtrack limit --':>21} "
+                  f"{seconds:7.2f}s")
+        else:
+            print(f"{name:26} {signals:>8} {states:>7} {area:>5} "
+                  f"{seconds:7.2f}s")
+
+    paper = info.ours
+    print(f"\npaper (SPARC-2): modular {paper.final_signals} signals, "
+          f"{paper.final_states} states, {paper.area} literals, "
+          f"{paper.cpu} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file
+exists so the package can be installed in environments whose tooling
+predates PEP 660 editable installs (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Modular partitioning for asynchronous circuit synthesis.
+
+Reproduction of Puri & Gu, *A Modular Partitioning Approach for Asynchronous
+Circuit Synthesis*, DAC 1994.
+
+The public API is re-exported here; see the subpackages for details:
+
+* :mod:`repro.petrinet` -- Petri net kernel (places, transitions, markings,
+  reachability).
+* :mod:`repro.stg` -- signal transition graphs, including the ``.g`` astg
+  file format.
+* :mod:`repro.stategraph` -- state graphs with consistent state assignment
+  and CSC conflict detection.
+* :mod:`repro.sat` -- a DPLL branch-and-bound SAT solver.
+* :mod:`repro.csc` -- the SAT-CSC encoding, the direct (Vanbekbergen-style)
+  method and the paper's modular partitioning method.
+* :mod:`repro.logic` -- two-level logic covers and an espresso-like
+  minimizer used for the area (literal-count) results.
+* :mod:`repro.baselines` -- the Lavagno/Moon-style state-table baseline.
+* :mod:`repro.bench` -- the Table-1 benchmark suite and runner.
+"""
+
+from repro.petrinet import Marking, PetriNet
+from repro.stg import SignalTransitionGraph, SignalType, parse_g, write_g
+from repro.stategraph import StateGraph, build_state_graph, csc_conflicts
+from repro.csc import (
+    DirectResult,
+    ModularResult,
+    direct_synthesis,
+    modular_synthesis,
+)
+from repro.logic import Cover, Cube, espresso, literal_count
+from repro.verify import check_conformance, verify_synthesis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cover",
+    "Cube",
+    "DirectResult",
+    "Marking",
+    "ModularResult",
+    "PetriNet",
+    "SignalTransitionGraph",
+    "SignalType",
+    "StateGraph",
+    "build_state_graph",
+    "check_conformance",
+    "csc_conflicts",
+    "direct_synthesis",
+    "espresso",
+    "literal_count",
+    "modular_synthesis",
+    "parse_g",
+    "verify_synthesis",
+    "write_g",
+    "__version__",
+]

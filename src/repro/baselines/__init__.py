@@ -1,0 +1,11 @@
+"""Baseline synthesis methods the paper compares against.
+
+* :mod:`repro.baselines.lavagno` -- a state-table-level baseline in the
+  spirit of Lavagno & Moon et al. (DAC'92): whole-graph state assignment
+  with state signals inserted one at a time (see DESIGN.md §4 for the
+  substitution rationale).
+"""
+
+from repro.baselines.lavagno import LavagnoResult, lavagno_synthesis
+
+__all__ = ["LavagnoResult", "lavagno_synthesis"]

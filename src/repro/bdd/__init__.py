@@ -1,0 +1,15 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The paper closes its results section with: "The implementation area was
+further reduced by developing a BDD based constraint satisfaction
+approach [19]" (Puri & Gu, 7th IEEE/ACM High-Level Synthesis Symposium,
+1994).  This package supplies that approach's substrate: a small ROBDD
+manager (:mod:`repro.bdd.manager`) with apply/negate/quantify, model
+counting, and -- the piece the area reduction hangs on -- *minimum-weight*
+satisfying assignments, used by the ``"bdd"`` solve engine to pick the
+CSC solution with the fewest excited state-variable bits.
+"""
+
+from repro.bdd.manager import BddManager, BddOverflowError
+
+__all__ = ["BddManager", "BddOverflowError"]

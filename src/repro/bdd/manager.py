@@ -1,0 +1,277 @@
+"""A reduced ordered BDD manager.
+
+Nodes are integers: 0 and 1 are the terminals; every other node has a
+variable index, a low child (variable false) and a high child (variable
+true), stored uniquely so that structurally equal functions share one
+node.  Variables are 1-based and ordered by their index.
+
+The operations cover what the BDD-based CSC solver needs: conjunction /
+disjunction / negation with memoisation, conditioning (restrict),
+existential quantification, model counting, and minimum-weight model
+extraction.
+"""
+
+from __future__ import annotations
+
+FALSE = 0
+TRUE = 1
+
+
+class BddOverflowError(RuntimeError):
+    """The node table grew past the configured capacity."""
+
+
+class BddManager:
+    """Shared node store for one variable order.
+
+    Parameters
+    ----------
+    num_vars:
+        Highest variable index in use (variables are ``1..num_vars``).
+    max_nodes:
+        Capacity guard; building past it raises
+        :class:`BddOverflowError` (callers fall back to plain SAT).
+    """
+
+    def __init__(self, num_vars, max_nodes=1_000_000):
+        self.num_vars = num_vars
+        self.max_nodes = max_nodes
+        # node id -> (var, low, high); terminals get sentinel entries.
+        self._nodes = [
+            (num_vars + 1, FALSE, FALSE),
+            (num_vars + 1, TRUE, TRUE),
+        ]
+        self._unique = {}
+        self._apply_cache = {}
+        self._not_cache = {}
+
+    @property
+    def num_nodes(self):
+        return len(self._nodes)
+
+    def var_of(self, node):
+        return self._nodes[node][0]
+
+    def children(self, node):
+        _var, low, high = self._nodes[node]
+        return low, high
+
+    # -- construction ------------------------------------------------------
+
+    def make(self, var, low, high):
+        """The unique node for ``if var then high else low``."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            if len(self._nodes) >= self.max_nodes:
+                raise BddOverflowError(
+                    f"BDD exceeded {self.max_nodes} nodes"
+                )
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def literal(self, literal):
+        """The BDD of a single literal (negative = complemented)."""
+        var = abs(literal)
+        if not 1 <= var <= self.num_vars:
+            raise ValueError(f"variable {var} out of range")
+        if literal > 0:
+            return self.make(var, FALSE, TRUE)
+        return self.make(var, TRUE, FALSE)
+
+    def clause(self, literals):
+        """The BDD of a disjunction of literals."""
+        result = FALSE
+        for literal in sorted(literals, key=abs, reverse=True):
+            result = self.apply_or(self.literal(literal), result)
+        return result
+
+    def from_cnf(self, cnf):
+        """Conjoin every clause of a :class:`repro.sat.cnf.Cnf`."""
+        result = TRUE
+        clauses = sorted(
+            cnf.clauses, key=lambda c: min((abs(l) for l in c), default=0)
+        )
+        for clause_literals in clauses:
+            result = self.apply_and(result, self.clause(clause_literals))
+            if result == FALSE:
+                return FALSE
+        return result
+
+    # -- boolean operations ----------------------------------------------------
+
+    def apply_and(self, f, g):
+        return self._apply("and", f, g)
+
+    def apply_or(self, f, g):
+        return self._apply("or", f, g)
+
+    def _apply(self, op, f, g):
+        if op == "and":
+            if f == FALSE or g == FALSE:
+                return FALSE
+            if f == TRUE:
+                return g
+            if g == TRUE:
+                return f
+        else:
+            if f == TRUE or g == TRUE:
+                return TRUE
+            if f == FALSE:
+                return g
+            if g == FALSE:
+                return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (op, f, g)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        var_f, var_g = self.var_of(f), self.var_of(g)
+        var = min(var_f, var_g)
+        f_low, f_high = self.children(f) if var_f == var else (f, f)
+        g_low, g_high = self.children(g) if var_g == var else (g, g)
+        result = self.make(
+            var,
+            self._apply(op, f_low, g_low),
+            self._apply(op, f_high, g_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def negate(self, f):
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        var = self.var_of(f)
+        low, high = self.children(f)
+        result = self.make(var, self.negate(low), self.negate(high))
+        self._not_cache[f] = result
+        return result
+
+    def restrict(self, f, var, value):
+        """Condition ``f`` on ``var = value``."""
+        cache = {}
+
+        def walk(node):
+            if node <= TRUE or self.var_of(node) > var:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            node_var = self.var_of(node)
+            low, high = self.children(node)
+            if node_var == var:
+                result = high if value else low
+            else:
+                result = self.make(node_var, walk(low), walk(high))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f, var):
+        """Existentially quantify ``var`` out of ``f``."""
+        return self.apply_or(
+            self.restrict(f, var, 0), self.restrict(f, var, 1)
+        )
+
+    # -- models ---------------------------------------------------------------
+
+    def sat_count(self, f):
+        """Number of satisfying assignments over all variables."""
+        cache = {FALSE: 0, TRUE: 1}
+
+        def walk(node):
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            var = self.var_of(node)
+            low, high = self.children(node)
+            low_count = walk(low) * 2 ** (self.var_of(low) - var - 1)
+            high_count = walk(high) * 2 ** (self.var_of(high) - var - 1)
+            result = low_count + high_count
+            cache[node] = result
+            return result
+
+        if f == FALSE:
+            return 0
+        return walk(f) * 2 ** (self.var_of(f) - 1)
+
+    def any_model(self, f):
+        """One satisfying assignment (dict var -> bool), or ``None``."""
+        if f == FALSE:
+            return None
+        model = {}
+        node = f
+        while node != TRUE:
+            var = self.var_of(node)
+            low, high = self.children(node)
+            if low != FALSE:
+                model[var] = False
+                node = low
+            else:
+                model[var] = True
+                node = high
+        for var in range(1, self.num_vars + 1):
+            model.setdefault(var, False)
+        return model
+
+    def min_cost_model(self, f, costs):
+        """The satisfying assignment minimising the summed cost.
+
+        Parameters
+        ----------
+        f:
+            A satisfiable BDD.
+        costs:
+            ``costs[var]`` is the price of assigning ``var = True``
+            (``False`` is free; missing variables cost 0).
+
+        Returns
+        -------
+        dict or None
+            Minimum-cost model as ``var -> bool``; ``None`` if ``f`` is
+            unsatisfiable.  Variables skipped on the chosen path are set
+            False (cost 0).
+        """
+        if f == FALSE:
+            return None
+        best = {TRUE: (0, None, None), FALSE: (float("inf"), None, None)}
+
+        def walk(node):
+            hit = best.get(node)
+            if hit is not None:
+                return hit[0]
+            var = self.var_of(node)
+            low, high = self.children(node)
+            low_cost = walk(low)
+            high_cost = walk(high) + costs.get(var, 0)
+            entry = (
+                (low_cost, False, low)
+                if low_cost <= high_cost
+                else (high_cost, True, high)
+            )
+            best[node] = entry
+            return entry[0]
+
+        walk(f)
+        model = {}
+        node = f
+        while node != TRUE:
+            _cost, choice, successor = best[node]
+            model[self.var_of(node)] = choice
+            node = successor
+        for var in range(1, self.num_vars + 1):
+            model.setdefault(var, False)
+        return model

@@ -1,0 +1,42 @@
+"""Regenerate the packaged benchmark ``.g`` files from their specs.
+
+Usage::
+
+    python -m repro.bench.make_data [name ...]
+
+Writes into ``src/repro/data/`` next to this package (or the installed
+package directory).  Every written STG is validated (1-safe, consistent,
+live) before it lands on disk.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.specs import SPEC_BUILDERS, generate
+from repro.stg.parse import parse_g
+from repro.stg.validate import validate_stg
+
+
+def data_dir():
+    import repro.data
+
+    return Path(repro.data.__file__).parent
+
+
+def main(argv=None):
+    names = (argv if argv is not None else sys.argv[1:]) or list(SPEC_BUILDERS)
+    target = data_dir()
+    for name in names:
+        text = generate(name)
+        stg = parse_g(text, name_hint=name)
+        validate_stg(stg, require_live=True)
+        path = target / f"{name}.g"
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Benchmark registry: names, paper numbers, and ``.g`` loading.
+
+``BENCHMARKS`` records Table 1 of the paper verbatim -- the
+"Specifications" columns plus each method's reported results -- so the
+benchmark harness can print paper-vs-measured side by side.  STG sources
+are loaded from the packaged ``repro/data/*.g`` files (regenerate them
+with ``python -m repro.bench.make_data``).
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.stg.parse import parse_g
+
+
+class PaperMethod:
+    """One method's Table-1 row entries (``None`` = not reported)."""
+
+    def __init__(self, final_states=None, final_signals=None, area=None,
+                 cpu=None, note=None):
+        self.final_states = final_states
+        self.final_signals = final_signals
+        self.area = area
+        self.cpu = cpu
+        #: "backtrack-limit" / "internal-error" / "non-free-choice" markers.
+        self.note = note
+
+    @property
+    def completed(self):
+        return self.note is None
+
+
+class BenchmarkInfo:
+    """One Table-1 row."""
+
+    def __init__(self, name, initial_states, initial_signals, ours,
+                 vanbekbergen, lavagno):
+        self.name = name
+        self.initial_states = initial_states
+        self.initial_signals = initial_signals
+        self.ours = ours
+        self.vanbekbergen = vanbekbergen
+        self.lavagno = lavagno
+
+    def __repr__(self):
+        return (
+            f"BenchmarkInfo({self.name!r}, states={self.initial_states}, "
+            f"signals={self.initial_signals})"
+        )
+
+
+def _row(name, states, signals, ours, vanb, lav):
+    return BenchmarkInfo(
+        name, states, signals,
+        PaperMethod(*ours), PaperMethod(*vanb), PaperMethod(*lav),
+    )
+
+
+_BT = "backtrack-limit"
+_IE = "internal-error"
+_NF = "non-free-choice"
+
+#: Table 1 of the paper.  Per method: (final_states, final_signals, area
+#: in literals, cpu seconds, note).  The Lavagno column reports no state
+#: count in the paper, so final_states is None there.
+BENCHMARKS = {
+    info.name: info
+    for info in [
+        _row("mr0", 302, 11,
+             (469, 14, 41, 2.80, None),
+             (None, None, None, 3600.0, _BT),
+             (None, 13, 86, 1084.5, None)),
+        _row("mr1", 190, 8,
+             (373, 12, 55, 1.73, None),
+             (None, None, None, 872.9, _BT),
+             (None, 10, 53, 237.5, None)),
+        _row("mmu0", 174, 8,
+             (441, 11, 49, 0.87, None),
+             (None, None, None, 406.3, _BT),
+             (None, None, None, None, _IE)),
+        _row("mmu1", 82, 8,
+             (131, 10, 50, 0.37, None),
+             (None, None, None, 101.3, _BT),
+             (None, 10, 37, 47.8, None)),
+        _row("sbuf-ram-write", 58, 10,
+             (93, 12, 59, 0.36, None),
+             (90, 12, 74, 5.21, None),
+             (None, 12, 35, 54.6, None)),
+        _row("vbe4a", 58, 6,
+             (106, 8, 37, 0.19, None),
+             (116, 8, 40, 0.25, None),
+             (None, 8, 41, 5.5, None)),
+        _row("nak-pa", 56, 9,
+             (59, 10, 25, 0.20, None),
+             (58, 10, 32, 0.08, None),
+             (None, 10, 41, 20.8, None)),
+        _row("pe-rcv-ifc-fc", 46, 8,
+             (50, 9, 48, 0.24, None),
+             (53, 9, 50, 0.13, None),
+             (None, 9, 62, 14.3, None)),
+        _row("ram-read-sbuf", 36, 10,
+             (44, 11, 28, 0.15, None),
+             (53, 11, 44, 0.06, None),
+             (None, 11, 23, 65.2, None)),
+        _row("alex-nonfc", 24, 6,
+             (31, 7, 26, 0.05, None),
+             (28, 7, 22, 0.03, None),
+             (None, None, None, None, _NF)),
+        _row("sbuf-send-pkt2", 21, 6,
+             (26, 7, 20, 0.04, None),
+             (27, 7, 29, 0.04, None),
+             (None, 7, 14, 8.6, None)),
+        _row("sbuf-send-ctl", 20, 6,
+             (32, 8, 33, 0.09, None),
+             (28, 8, 35, 0.03, None),
+             (None, 8, 43, 3.4, None)),
+        _row("atod", 20, 6,
+             (26, 7, 15, 0.02, None),
+             (24, 7, 16, 0.01, None),
+             (None, 7, 19, 2.9, None)),
+        _row("pa", 18, 4,
+             (34, 6, 18, 0.12, None),
+             (31, 6, 22, 0.06, None),
+             (None, None, None, None, _IE)),
+        _row("alloc-outbound", 17, 7,
+             (29, 9, 33, 0.09, None),
+             (24, 9, 27, 0.04, None),
+             (None, 9, 23, 2.5, None)),
+        _row("wrdata", 16, 4,
+             (20, 5, 17, 0.03, None),
+             (19, 5, 18, 0.01, None),
+             (None, 5, 21, 0.9, None)),
+        _row("fifo", 16, 4,
+             (23, 5, 15, 0.03, None),
+             (20, 5, 17, 0.02, None),
+             (None, 5, 15, 0.7, None)),
+        _row("sbuf-read-ctl", 14, 6,
+             (18, 7, 16, 0.06, None),
+             (16, 7, 20, 0.01, None),
+             (None, 7, 15, 1.5, None)),
+        _row("nouse", 12, 3,
+             (16, 4, 12, 0.01, None),
+             (16, 4, 12, 0.01, None),
+             (None, 4, 14, 0.5, None)),
+        _row("vbe-ex2", 8, 2,
+             (12, 4, 18, 0.08, None),
+             (12, 4, 18, 0.03, None),
+             (None, 4, 21, 0.5, None)),
+        _row("nousc-ser", 8, 3,
+             (10, 4, 9, 0.02, None),
+             (10, 4, 9, 0.01, None),
+             (None, 4, 11, 0.4, None)),
+        _row("sendr-done", 7, 3,
+             (10, 4, 8, 0.02, None),
+             (10, 4, 8, 0.01, None),
+             (None, 4, 6, 0.4, None)),
+        _row("vbe-ex1", 5, 2,
+             (8, 3, 7, 0.01, None),
+             (8, 3, 7, 0.01, None),
+             (None, 3, 7, 0.3, None)),
+    ]
+}
+
+
+def benchmark_names():
+    """All benchmark names in the paper's (size-descending) row order."""
+    return list(BENCHMARKS)
+
+
+def load_benchmark(name):
+    """Parse the packaged ``.g`` file of a benchmark into an STG."""
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; see repro.bench.benchmark_names()"
+        )
+    try:
+        text = (
+            resources.files("repro.data")
+            .joinpath(f"{name}.g")
+            .read_text(encoding="utf-8")
+        )
+    except FileNotFoundError:
+        # Data file not generated yet: fall back to the live spec.
+        from repro.bench.specs import generate
+
+        text = generate(name)
+    return parse_g(text, name_hint=name)

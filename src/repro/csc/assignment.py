@@ -1,0 +1,190 @@
+"""State-signal assignments over a state graph.
+
+An :class:`Assignment` gives every state of a graph a tuple of four-valued
+:class:`~repro.csc.values.Value` entries, one per inserted state signal.
+It is the working object threaded through the modular synthesis loop: the
+input-set derivation consults it, ``partition_sat`` extends it, and the
+final expansion consumes it.
+"""
+
+from __future__ import annotations
+
+from repro.csc.values import Value, edge_compatible, merge_values
+from repro.stategraph.graph import EPSILON
+
+
+class Assignment:
+    """Four-valued values of named state signals, per state.
+
+    Parameters
+    ----------
+    names:
+        Ordered state signal names.
+    values:
+        ``values[state]`` is a tuple of :class:`Value`, aligned with
+        ``names``.  One entry per state of the graph the assignment
+        belongs to.
+    """
+
+    def __init__(self, names=(), values=()):
+        self.names = tuple(names)
+        self.values = [tuple(row) for row in values]
+        for row in self.values:
+            if len(row) != len(self.names):
+                raise ValueError(
+                    f"assignment row has {len(row)} entries, expected "
+                    f"{len(self.names)}"
+                )
+
+    @classmethod
+    def empty(cls, num_states):
+        """No state signals yet: one empty row per state."""
+        return cls((), [()] * num_states)
+
+    @property
+    def num_signals(self):
+        return len(self.names)
+
+    @property
+    def num_states(self):
+        return len(self.values)
+
+    def value(self, state, name):
+        return self.values[state][self.names.index(name)]
+
+    def column(self, name):
+        """All states' values of one state signal."""
+        index = self.names.index(name)
+        return [row[index] for row in self.values]
+
+    # -- derived bit views --------------------------------------------------
+
+    def cur_bits(self):
+        """Per-state tuples of current-value bits (state code extension)."""
+        return [tuple(v.cur for v in row) for row in self.values]
+
+    def implied_bits(self):
+        """Per-state tuples of implied (next-state) values."""
+        return [tuple(v.implied for v in row) for row in self.values]
+
+    def excitation_bits(self):
+        """Per-state tuples of excited flags."""
+        return [
+            tuple(1 if v.excited else 0 for v in row) for row in self.values
+        ]
+
+    # -- composition -----------------------------------------------------------
+
+    def extended(self, new_names, new_values):
+        """A copy with extra state signals appended."""
+        new_names = tuple(new_names)
+        if len(new_values) != self.num_states:
+            raise ValueError("new values must cover every state")
+        names = self.names + new_names
+        values = [
+            row + tuple(extra) for row, extra in zip(self.values, new_values)
+        ]
+        return Assignment(names, values)
+
+    def restricted(self, keep):
+        """A copy keeping only the named state signals, in original order."""
+        keep = set(keep)
+        indices = [i for i, n in enumerate(self.names) if n in keep]
+        return Assignment(
+            tuple(self.names[i] for i in indices),
+            [tuple(row[i] for i in indices) for row in self.values],
+        )
+
+    # -- checks -------------------------------------------------------------------
+
+    def check_edge_compatibility(self, graph):
+        """All values must step legally along every edge of ``graph``.
+
+        Returns a list of violations ``(source, target, name)``; empty when
+        the assignment is consistent and semi-modular.
+        """
+        problems = []
+        for source, label, target in graph.edges:
+            if label is EPSILON:
+                continue
+            for k, name in enumerate(self.names):
+                before = self.values[source][k]
+                after = self.values[target][k]
+                if not edge_compatible(before, after):
+                    problems.append((source, target, name))
+        return problems
+
+    def check_input_realizability(self, graph):
+        """Find state-signal firings serialised before *input* edges.
+
+        A value pair (Up, 1) or (Down, 0) across an edge labelled by an
+        input signal claims the state signal fires before that input --
+        an ordering the circuit cannot impose on its environment.
+        Returns ``(source, target, name)`` violations; empty when the
+        assignment is realisable.
+        """
+        problems = []
+        non_inputs = graph.non_inputs
+        for source, label, target in graph.edges:
+            if label is EPSILON or label[0] in non_inputs:
+                continue
+            for k, name in enumerate(self.names):
+                before = self.values[source][k]
+                after = self.values[target][k]
+                if before.excited and not after.excited \
+                        and before.cur != after.cur:
+                    problems.append((source, target, name))
+        return problems
+
+    # -- quotient interaction ------------------------------------------------------
+
+    def merged_over(self, blocks):
+        """Merge this assignment onto the macro states of a quotient.
+
+        Parameters
+        ----------
+        blocks:
+            ``blocks[macro]`` = iterable of member states (as produced by
+            :func:`repro.stategraph.quotient.quotient`).
+
+        Returns
+        -------
+        Assignment or None
+            The macro-level assignment, or ``None`` if some region's
+            values are inconsistent under Figure 3's merge rules (the
+            corresponding signal hiding is then not allowed).
+        """
+        merged_rows = []
+        for members in blocks:
+            row = []
+            for k in range(self.num_signals):
+                merged = merge_values(
+                    self.values[member][k] for member in members
+                )
+                if merged is None:
+                    return None
+                row.append(merged)
+            merged_rows.append(tuple(row))
+        return Assignment(self.names, merged_rows)
+
+    def lifted_from(self, cover, macro_assignment):
+        """Inverse of :meth:`merged_over`: copy macro values to members.
+
+        ``cover[state] -> macro_state``.  Used by the propagation step
+        (Figure 5) to push newly found state-signal values from the
+        modular graph back to the complete graph.
+        """
+        if macro_assignment.num_signals and len(cover) != self.num_states:
+            if self.num_states:
+                raise ValueError("cover map does not match state count")
+        rows = [
+            macro_assignment.values[cover[state]]
+            for state in range(len(cover))
+        ]
+        return self.extended(macro_assignment.names, rows)
+
+    def __repr__(self):
+        return (
+            f"Assignment(signals={list(self.names)}, "
+            f"states={self.num_states})"
+        )

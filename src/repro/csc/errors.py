@@ -1,0 +1,31 @@
+"""Exception hierarchy for the CSC solvers."""
+
+
+class CscError(Exception):
+    """Base class for CSC solving errors."""
+
+
+class BacktrackLimitError(CscError):
+    """The SAT search hit its backtrack (or time) limit.
+
+    This is the paper's "SAT Backtrack Limit" outcome for the direct
+    method on the large benchmarks.  Carries the statistics accumulated
+    before the abort.
+    """
+
+    def __init__(self, message, backtracks=None, seconds=None):
+        super().__init__(message)
+        self.backtracks = backtracks
+        self.seconds = seconds
+
+
+class IntrinsicConflictError(CscError):
+    """A merged state has an ambiguous implied value.
+
+    No state-signal coding can repair a modular graph in this condition;
+    it indicates the input-set derivation hid a signal it must not have.
+    """
+
+
+class SynthesisError(CscError):
+    """Synthesis failed to produce a CSC-satisfying implementation."""

@@ -1,0 +1,154 @@
+"""Input signal set derivation (Figure 2 of the paper).
+
+The *input signal set* ``I_S(o)`` of an output is the minimum set of STG
+signals required to implement its logic: the signals whose transitions
+directly trigger ``o`` (the immediate input set) plus whatever else is
+needed to keep the CSC conflict count and the state-signal lower bound
+from growing.  Every other signal is greedily removed -- its transitions
+are ε-labelled and the states they connect merged away.
+"""
+
+from __future__ import annotations
+
+from repro.stategraph.csc import csc_conflicts, csc_lower_bound
+from repro.stategraph.graph import EPSILON
+from repro.stategraph.quotient import quotient
+
+
+class InputSetResult:
+    """Outcome of :func:`determine_input_set`.
+
+    Attributes
+    ----------
+    output:
+        The output signal the set belongs to.
+    immediate:
+        Signals with a direct causal edge into the output (never removed).
+    kept_signals:
+        The derived input set ``I_S(o)`` (excluding the output itself).
+    hidden_signals:
+        Signals removed from the modular graph.
+    kept_state_signals / dropped_state_signals:
+        Which previously inserted state signals remain part of the code.
+    conflicts / lower_bound:
+        CSC conflict count and state-signal lower bound of the final
+        modular graph (what ``partition_sat`` will have to solve).
+    """
+
+    def __init__(self, output, immediate, kept_signals, hidden_signals,
+                 kept_state_signals, dropped_state_signals, conflicts,
+                 lower_bound, removal_order=()):
+        self.output = output
+        self.immediate = sorted(immediate)
+        self.kept_signals = sorted(kept_signals)
+        self.hidden_signals = sorted(hidden_signals)
+        self.kept_state_signals = list(kept_state_signals)
+        self.dropped_state_signals = list(dropped_state_signals)
+        self.conflicts = conflicts
+        self.lower_bound = lower_bound
+        #: Hidden signals in the order the greedy loop removed them; used
+        #: by partition_sat's fallback to un-hide the most recent first.
+        self.removal_order = list(removal_order)
+
+    def __repr__(self):
+        return (
+            f"InputSetResult({self.output!r}, keep={self.kept_signals}, "
+            f"hide={self.hidden_signals}, "
+            f"state_signals={self.kept_state_signals})"
+        )
+
+
+def sg_triggers(graph, output):
+    """Signals whose firing makes ``output`` become excited.
+
+    This is the state-graph reading of the paper's "direct causal
+    relationship" (Section 3.2): ``s`` triggers ``o`` when some edge
+    ``M --s*--> M'`` turns on ``o``'s excitation.
+    """
+    triggers = set()
+    for source, label, target in graph.edges:
+        if label is EPSILON:
+            continue
+        signal, _direction = label
+        if signal == output:
+            continue
+        before = graph.excitation(source).get(output)
+        after = graph.excitation(target).get(output)
+        if after is not None and before is None:
+            triggers.add(signal)
+    return triggers
+
+
+def determine_input_set(graph, output, existing):
+    """Derive ``I_S(output)`` by greedy signal removal (Figure 2).
+
+    Parameters
+    ----------
+    graph:
+        The complete state graph Σ.
+    output:
+        The output signal being synthesised.
+    existing:
+        The :class:`~repro.csc.assignment.Assignment` of state signals
+        inserted by earlier iterations (possibly empty).
+
+    Returns
+    -------
+    InputSetResult
+    """
+    if output not in graph.non_inputs:
+        raise ValueError(f"{output!r} is not a non-input signal of the graph")
+
+    immediate = sg_triggers(graph, output)
+    keep = set(immediate) | {output}
+    hidden = set()
+    removal_order = []
+    kept_state_signals = list(existing.names)
+
+    def metrics(hidden_trial, state_signal_trial):
+        """(conflicts, lower bound) of the trial projection, or None."""
+        q = quotient(graph, hidden_trial)
+        restricted = existing.restricted(state_signal_trial)
+        merged = restricted.merged_over(q.blocks)
+        if merged is None:
+            return None  # Figure 3(j,k): inconsistent state-signal merge
+        extra = merged.cur_bits()
+        conflicts = len(
+            csc_conflicts(q, outputs=[output], extra_codes=extra)
+        )
+        bound = csc_lower_bound(q, outputs=[output], extra_codes=extra)
+        return conflicts, bound
+
+    conflicts, bound = metrics(hidden, kept_state_signals)
+
+    for signal in graph.signals:
+        if signal in keep:
+            continue
+        trial = metrics(hidden | {signal}, kept_state_signals)
+        if trial is not None and trial[0] <= conflicts and trial[1] <= bound:
+            hidden.add(signal)
+            removal_order.append(signal)
+            conflicts, bound = trial
+        else:
+            keep.add(signal)
+
+    dropped_state_signals = []
+    for name in list(existing.names):
+        trial_names = [n for n in kept_state_signals if n != name]
+        trial = metrics(hidden, trial_names)
+        if trial is not None and trial[0] <= conflicts and trial[1] <= bound:
+            kept_state_signals = trial_names
+            dropped_state_signals.append(name)
+            conflicts, bound = trial
+
+    return InputSetResult(
+        output,
+        immediate,
+        kept_signals=keep - {output},
+        hidden_signals=hidden,
+        kept_state_signals=kept_state_signals,
+        dropped_state_signals=dropped_state_signals,
+        conflicts=conflicts,
+        lower_bound=bound,
+        removal_order=removal_order,
+    )

@@ -1,0 +1,105 @@
+"""Post-SAT assignment polishing: shrink excitation regions.
+
+A satisfying SAT assignment is free to mark large swaths of states as
+``Up``/``Down``; every excited state splits in two during expansion, so
+sprawling excitation regions inflate the final state count and -- because
+every split adds a fresh minterm pattern -- the two-level covers.  The
+solver has no objective function, so this pass supplies the missing
+quality: it walks the excited states and re-stabilises each one (``Up``
+to 0 or 1, ``Down`` to 1 or 0) whenever the change provably keeps the
+solution correct.
+
+Correctness is re-checked semantically, not via the encoding: a candidate
+flip must keep the assignment edge-compatible (cheap, local) and the
+*expanded* graph CSC-clean (the ground-truth acceptance test).  Regions
+therefore shrink from their boundaries inward until only the genuinely
+required transition states stay excited.
+"""
+
+from __future__ import annotations
+
+from repro.csc.assignment import Assignment
+from repro.csc.errors import SynthesisError
+from repro.csc.insertion import expand
+from repro.csc.values import Value, edge_compatible
+from repro.stategraph.csc import csc_conflicts, persistence_violations
+from repro.stategraph.graph import EPSILON
+
+_MAX_PASSES = 4
+
+#: Stable replacement candidates per excited value, in preference order:
+#: push the transition later (keep the pre-transition value) first.
+_CANDIDATES = {
+    Value.UP: (Value.ZERO, Value.ONE),
+    Value.DOWN: (Value.ONE, Value.ZERO),
+}
+
+
+def polish_assignment(graph, assignment):
+    """Return an equivalent assignment with fewer excited states.
+
+    The result satisfies the same acceptance criterion as the input
+    (expanded graph CSC-clean); if the input does not satisfy it, it is
+    returned unchanged.
+    """
+    if assignment.num_signals == 0:
+        return assignment
+    if not _accepts(graph, assignment):
+        return assignment
+
+    rows = [list(row) for row in assignment.values]
+    names = assignment.names
+    for _pass in range(_MAX_PASSES):
+        changed = False
+        for state in graph.states():
+            for k in range(len(names)):
+                value = rows[state][k]
+                candidates = _CANDIDATES.get(value)
+                if candidates is None:
+                    continue
+                for candidate in candidates:
+                    if not _locally_compatible(
+                        graph, rows, state, k, candidate
+                    ):
+                        continue
+                    rows[state][k] = candidate
+                    trial = Assignment(
+                        names, [tuple(row) for row in rows]
+                    )
+                    if _accepts(graph, trial):
+                        changed = True
+                        break
+                    rows[state][k] = value
+        if not changed:
+            break
+    return Assignment(names, [tuple(row) for row in rows])
+
+
+def _locally_compatible(graph, rows, state, k, candidate):
+    """Cheap pre-filter: the flip must keep every touching edge legal."""
+    for label, target in graph.out_edges(state):
+        if label is EPSILON:
+            continue
+        if not edge_compatible(candidate, rows[target][k]):
+            return False
+    for label, source in graph.in_edges(state):
+        if label is EPSILON:
+            continue
+        if not edge_compatible(rows[source][k], candidate):
+            return False
+    return True
+
+
+def _accepts(graph, assignment):
+    """Ground truth: realisable, expansion succeeds, CSC satisfied."""
+    if assignment.check_edge_compatibility(graph):
+        return False
+    if assignment.check_input_realizability(graph):
+        return False
+    try:
+        expanded = expand(graph, assignment)
+    except SynthesisError:
+        return False
+    if csc_conflicts(expanded):
+        return False
+    return not persistence_violations(expanded)

@@ -1,0 +1,31 @@
+"""Propagation of state-signal assignments (Figure 5).
+
+The cover relation of the quotient maps every state of the complete graph
+Σ to the modular state that covers it; the new state signals' values are
+simply copied from the covering state to all covered states.
+"""
+
+from __future__ import annotations
+
+
+def propagate(existing, partition_result):
+    """Push a module's new state signals back onto the complete graph.
+
+    Parameters
+    ----------
+    existing:
+        The Σ-level :class:`~repro.csc.assignment.Assignment` before this
+        module.
+    partition_result:
+        The :class:`~repro.csc.modular.PartitionResult` of the module.
+
+    Returns
+    -------
+    Assignment
+        ``existing`` extended with the module's new state signals, valued
+        on every Σ state through the cover map.
+    """
+    return existing.lifted_from(
+        partition_result.quotient.cover,
+        partition_result.macro_assignment,
+    )

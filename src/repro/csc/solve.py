@@ -1,0 +1,201 @@
+"""The shared solve loop: grow ``m`` until the SAT-CSC formula satisfies.
+
+Both the direct method and the modular method follow the same schema
+(Figure 4's inner loop): start from the lower bound on state signals,
+derive the boolean constraint formula, search for a truth assignment, and
+add one more state signal whenever the formula is unsatisfiable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.csc.errors import BacktrackLimitError, SynthesisError
+from repro.csc.sat_csc import build_csc_formula
+from repro.sat import solve_with
+from repro.sat.solver import LIMIT, SAT
+from repro.stategraph.csc import csc_conflicts, csc_lower_bound
+
+#: Safety cap: no benchmark needs anywhere near this many state signals.
+DEFAULT_MAX_SIGNALS = 12
+
+
+class AttemptStats:
+    """Statistics of one formula build + solve attempt."""
+
+    def __init__(self, m, num_vars, num_clauses, result):
+        self.m = m
+        self.num_vars = num_vars
+        self.num_clauses = num_clauses
+        self.status = result.status
+        self.decisions = result.decisions
+        self.backtracks = result.backtracks
+        self.seconds = result.seconds
+
+    def __repr__(self):
+        return (
+            f"AttemptStats(m={self.m}, vars={self.num_vars}, "
+            f"clauses={self.num_clauses}, {self.status})"
+        )
+
+
+class SolveOutcome:
+    """Result of the grow-``m`` loop.
+
+    Attributes
+    ----------
+    rows:
+        Per-state tuples of :class:`~repro.csc.values.Value`, one entry
+        per new state signal (empty tuples when none were needed).
+    m:
+        Number of state signals inserted.
+    attempts:
+        :class:`AttemptStats` for every formula tried (including the
+        unsatisfiable ones).
+    seconds:
+        Total wall-clock time of the loop.
+    """
+
+    def __init__(self, rows, m, attempts, seconds):
+        self.rows = rows
+        self.m = m
+        self.attempts = attempts
+        self.seconds = seconds
+
+
+def solve_state_signals(graph, outputs=None, extra_codes=None,
+                        extra_implied=None, limits=None,
+                        max_signals=DEFAULT_MAX_SIGNALS,
+                        extra_conflict_pairs=(), engine="hybrid",
+                        on_limit="raise", conflict_pairs=None,
+                        extra_excited=None):
+    """Insert the fewest state signals the SAT search finds satisfiable.
+
+    Parameters
+    ----------
+    graph:
+        Target state graph (complete for the direct method, the modular
+        macro graph for the paper's method).
+    outputs / extra_codes / extra_implied:
+        Conflict definition; see
+        :func:`repro.stategraph.csc.csc_conflicts`.
+    limits:
+        :class:`repro.sat.solver.Limits` budget per solve.
+    max_signals:
+        Hard cap on ``m`` (malformed inputs would otherwise loop).
+    on_limit:
+        What to do when a solve exhausts its budget: ``"raise"`` aborts
+        with :class:`BacktrackLimitError` (the direct method's Table-1
+        behaviour), ``"skip"`` treats the attempt as unsatisfiable and
+        moves on to ``m + 1`` (the modular passes prefer trying a larger
+        or less aggressive instance over giving up).
+
+    Raises
+    ------
+    BacktrackLimitError
+        When the SAT search exhausts its budget and ``on_limit="raise"``.
+    SynthesisError
+        When ``max_signals`` is reached without a satisfiable formula.
+    IntrinsicConflictError
+        When a conflict is intrinsic to a merged state (no coding exists).
+    """
+    started = time.perf_counter()
+    if conflict_pairs is not None:
+        # Caller-selected subset (e.g. the sequential baseline resolves
+        # one conflict class per round).
+        conflicts = list(conflict_pairs)
+    else:
+        conflicts = csc_conflicts(
+            graph, outputs=outputs, extra_codes=extra_codes,
+            extra_implied=extra_implied,
+        )
+
+    def stably_separated(i, j):
+        """True if the pair's split products can never share a code.
+
+        The original signals never split, so any original-code difference
+        separates; an existing state signal separates only when its
+        values are stable (unexcited) on *both* sides and differ -- an
+        excited side spans both code values after expansion.
+        """
+        if graph.code_of(i) != graph.code_of(j):
+            return True
+        if extra_codes is None:
+            return False
+        for k in range(len(extra_codes[i])):
+            if extra_codes[i][k] == extra_codes[j][k]:
+                continue
+            if extra_excited is None:
+                continue  # cannot prove stability; keep the pair
+            if not extra_excited[i][k] and not extra_excited[j][k]:
+                return True
+        return False
+
+    for pair in extra_conflict_pairs:
+        # Pairs already stably told apart need no new work.
+        if not stably_separated(*pair):
+            if pair not in conflicts:
+                conflicts.append(pair)
+    if not conflicts:
+        rows = [() for _ in graph.states()]
+        return SolveOutcome(rows, 0, [], time.perf_counter() - started)
+
+    if conflict_pairs is not None:
+        m = 1  # the subset's own lower bound is not precomputed
+    else:
+        m = max(
+            1,
+            _finite(csc_lower_bound(
+                graph, outputs=outputs, extra_codes=extra_codes,
+                extra_implied=extra_implied,
+            )),
+        )
+    attempts = []
+    # Under the skip policy (the modular passes), each m first tries the
+    # serialisation-free variant: its solutions keep the original outputs'
+    # logic independent of the new signals (smaller covers).  Under the
+    # abort policy (the direct baseline) only the permissive formula is
+    # solved -- one formula per m, as in the original monolithic method,
+    # so a budget exhaustion is attributable to *the* formula.
+    variants = (False, True) if on_limit == "skip" else (True,)
+    while m <= max_signals:
+        for allow_serialisation in variants:
+            formula = build_csc_formula(
+                graph, m, outputs=outputs, extra_codes=extra_codes,
+                extra_implied=extra_implied, conflict_pairs=conflicts,
+                allow_serialisation=allow_serialisation,
+            )
+            result = solve_with(formula.cnf, limits, engine=engine)
+            attempts.append(
+                AttemptStats(
+                    m, formula.num_vars, formula.num_clauses, result
+                )
+            )
+            if result.status == LIMIT and on_limit != "skip":
+                raise BacktrackLimitError(
+                    f"SAT backtrack limit reached with m={m} "
+                    f"({formula.num_clauses} clauses, "
+                    f"{formula.num_vars} vars)",
+                    backtracks=result.backtracks,
+                    seconds=time.perf_counter() - started,
+                )
+            if result.status == SAT:
+                rows = formula.decode(result.assignment)
+                return SolveOutcome(
+                    rows, m, attempts, time.perf_counter() - started
+                )
+        m += 1
+    raise SynthesisError(
+        f"no satisfiable formula up to m={max_signals} state signals"
+    )
+
+
+def _finite(bound):
+    """Map an infinite lower bound to a loud failure."""
+    if bound == float("inf"):
+        from repro.csc.errors import IntrinsicConflictError
+
+        raise IntrinsicConflictError(
+            "graph has an intrinsically ambiguous merged state"
+        )
+    return int(bound)

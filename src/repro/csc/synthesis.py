@@ -1,0 +1,282 @@
+"""The complete modular synthesis flow (Figure 6 of the paper).
+
+``modular_synthesis`` drives, for every output signal: input-set
+derivation (Figure 2), modular graph construction and SAT solving
+(Figures 3-4), and propagation (Figure 5); then expands the complete
+state graph with the accumulated state signals and derives two-level
+logic.  A verify-and-repair pass guarantees the final expanded graph
+satisfies CSC even when greedy per-output decisions leave residual
+conflicts (a documented deviation from the paper, which argues the
+residue is empty in the worst case after all outputs are processed).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.csc.assignment import Assignment
+from repro.csc.errors import SynthesisError
+from repro.csc.input_set import determine_input_set
+from repro.csc.insertion import expand
+from repro.csc.modular import partition_sat
+from repro.csc.propagate import propagate
+from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
+from repro.stategraph.build import build_state_graph
+from repro.stategraph.csc import csc_conflicts
+from repro.stategraph.graph import StateGraph
+from repro.sat.solver import Limits
+from repro.stategraph.quotient import quotient
+
+_MAX_REPAIR_ROUNDS = 10
+
+#: Per-formula budget applied when the caller passes no explicit limits.
+#: Modular instances are tiny; an instance that exhausts this budget is a
+#: sign the projection was too aggressive, and the solve policy moves on
+#: (larger m, then the partition_sat un-hiding ladder) instead of hanging.
+DEFAULT_MODULAR_LIMITS = Limits(max_backtracks=100_000, max_seconds=10.0)
+
+
+class ModuleReport:
+    """Per-output record of one modular iteration."""
+
+    def __init__(self, output, input_set, partition):
+        self.output = output
+        self.input_set = input_set
+        self.partition = partition
+
+    @property
+    def num_macro_states(self):
+        return self.partition.num_macro_states
+
+    @property
+    def signals_added(self):
+        return self.partition.signals_added
+
+    @property
+    def attempts(self):
+        return self.partition.outcome.attempts
+
+    def __repr__(self):
+        return (
+            f"ModuleReport({self.output!r}, "
+            f"macro_states={self.num_macro_states}, "
+            f"signals_added={self.signals_added})"
+        )
+
+
+class ModularResult:
+    """Outcome of :func:`modular_synthesis`.
+
+    Attributes
+    ----------
+    graph / expanded:
+        The complete state graph Σ and its final expansion.
+    assignment:
+        The accumulated state-signal assignment over Σ.
+    modules:
+        One :class:`ModuleReport` per output, in processing order.
+    repair_attempts:
+        Solver statistics of the final repair pass (usually empty).
+    covers / literals:
+        Minimised two-level covers and total literal count
+        (``None`` when ``minimize=False``).
+    seconds:
+        End-to-end wall-clock time.
+    """
+
+    def __init__(self, graph, expanded, assignment, modules,
+                 repair_attempts, covers, literals, seconds):
+        self.graph = graph
+        self.expanded = expanded
+        self.assignment = assignment
+        self.modules = modules
+        self.repair_attempts = repair_attempts
+        self.covers = covers
+        self.literals = literals
+        self.seconds = seconds
+
+    @property
+    def initial_states(self):
+        return self.graph.num_states
+
+    @property
+    def final_states(self):
+        return self.expanded.num_states
+
+    @property
+    def initial_signals(self):
+        return len(self.graph.signals)
+
+    @property
+    def final_signals(self):
+        return len(self.graph.signals) + self.assignment.num_signals
+
+    @property
+    def state_signals(self):
+        return self.assignment.num_signals
+
+    def formula_sizes(self):
+        """(clauses, vars) of every SAT formula solved, in order."""
+        sizes = []
+        for module in self.modules:
+            for attempt in module.attempts:
+                sizes.append((attempt.num_clauses, attempt.num_vars))
+        for attempt in self.repair_attempts:
+            sizes.append((attempt.num_clauses, attempt.num_vars))
+        return sizes
+
+    def __repr__(self):
+        return (
+            f"ModularResult(states {self.initial_states}->"
+            f"{self.final_states}, signals {self.initial_signals}->"
+            f"{self.final_signals}, literals={self.literals}, "
+            f"{self.seconds:.2f}s)"
+        )
+
+
+def modular_synthesis(stg, limits=None, minimize=True,
+                      max_signals=DEFAULT_MAX_SIGNALS, output_order=None,
+                      signal_prefix="csc", engine="hybrid", polish=True):
+    """Synthesise an STG with the paper's modular partitioning method.
+
+    Parameters
+    ----------
+    stg:
+        A :class:`~repro.stg.model.SignalTransitionGraph`, or an already
+        built :class:`~repro.stategraph.graph.StateGraph`.
+    limits:
+        SAT budget (:class:`repro.sat.solver.Limits`) applied to every
+        modular formula.
+    minimize:
+        Also derive minimised two-level covers and literal counts.
+    output_order:
+        Optional explicit processing order for the non-input signals;
+        defaults to sorted order.
+
+    Returns
+    -------
+    ModularResult
+    """
+    started = time.perf_counter()
+    if limits is None:
+        limits = DEFAULT_MODULAR_LIMITS
+    if isinstance(stg, StateGraph):
+        graph = stg
+    else:
+        graph = build_state_graph(stg)
+
+    if output_order:
+        outputs = list(output_order)
+    else:
+        outputs = _default_output_order(graph)
+    unknown = set(outputs) - graph.non_inputs
+    if unknown:
+        raise ValueError(f"not non-input signals: {sorted(unknown)}")
+
+    assignment = Assignment.empty(graph.num_states)
+    modules = []
+    for output in outputs:
+        input_set = determine_input_set(graph, output, assignment)
+        partition = partition_sat(
+            graph, output, input_set, assignment, limits=limits,
+            max_signals=max_signals, name_start=assignment.num_signals,
+            signal_prefix=signal_prefix, engine=engine,
+        )
+        assignment = propagate(assignment, partition)
+        modules.append(ModuleReport(output, input_set, partition))
+
+    assignment, expanded, repair_attempts = _repair(
+        graph, assignment, limits, max_signals, signal_prefix, engine
+    )
+    if polish:
+        from repro.csc.polish import polish_assignment
+
+        assignment = polish_assignment(graph, assignment)
+        expanded = expand(graph, assignment)
+    _assert_realizable(graph, assignment)
+
+    covers = literals = None
+    if minimize:
+        from repro.logic.extract import synthesize_logic
+
+        covers, literals = synthesize_logic(expanded)
+    return ModularResult(
+        graph, expanded, assignment, modules, repair_attempts, covers,
+        literals, time.perf_counter() - started,
+    )
+
+
+def _assert_realizable(graph, assignment):
+    problems = assignment.check_input_realizability(graph)
+    if problems:
+        raise SynthesisError(
+            f"assignment serialises a state signal before an input on "
+            f"{len(problems)} edge(s): unrealisable ordering"
+        )
+
+
+def _default_output_order(graph):
+    """Process outputs with the smallest modular graphs first.
+
+    Local conflicts (completion pulses, echo tails) then insert their
+    state signals before the join outputs run; the joins' input-set
+    derivation keeps those signals, which often resolves their corner
+    conflicts for free.  The paper leaves the iteration order open; this
+    is the ordering that makes its "state signals are shared between
+    modules" behaviour reliable.
+    """
+    empty = Assignment.empty(graph.num_states)
+    keys = {}
+    for output in sorted(graph.non_inputs):
+        input_set = determine_input_set(graph, output, empty)
+        macro = quotient(graph, input_set.hidden_signals).graph.num_states
+        keys[output] = (macro, input_set.conflicts, output)
+    return sorted(keys, key=keys.get)
+
+
+def _repair(graph, assignment, limits, max_signals, signal_prefix, engine):
+    """Resolve residual conflicts until the expanded graph satisfies CSC.
+
+    Each round: expand, look for CSC violations among expanded states, map
+    them back to Σ state pairs, and solve a (small) whole-graph formula
+    that distinguishes them on top of the existing assignment.
+    """
+    repair_attempts = []
+    extra_pairs = []
+    for _round in range(_MAX_REPAIR_ROUNDS):
+        expanded, origins = expand(graph, assignment, return_origins=True)
+        violations = csc_conflicts(expanded)
+        if not violations:
+            return assignment, expanded, repair_attempts
+        new_pairs = set()
+        for p, q in violations:
+            a, b = sorted((origins[p], origins[q]))
+            if a != b:
+                new_pairs.add((a, b))
+        new_pairs -= set(extra_pairs)
+        if not new_pairs:
+            raise SynthesisError(
+                "repair pass cannot make progress on expansion-level "
+                "CSC violations"
+            )
+        extra_pairs.extend(sorted(new_pairs))
+        outcome = solve_state_signals(
+            graph,
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+            extra_excited=assignment.excitation_bits(),
+            extra_conflict_pairs=tuple(extra_pairs),
+            limits=limits,
+            max_signals=max_signals,
+            engine=engine,
+            on_limit="skip",
+        )
+        names = [
+            f"{signal_prefix}{assignment.num_signals + k}"
+            for k in range(outcome.m)
+        ]
+        assignment = assignment.extended(names, outcome.rows)
+        repair_attempts.extend(outcome.attempts)
+    raise SynthesisError(
+        f"CSC repair did not converge in {_MAX_REPAIR_ROUNDS} rounds"
+    )

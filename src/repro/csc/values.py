@@ -1,0 +1,128 @@
+"""The four-valued state-variable domain {0, 1, Up, Down}.
+
+Section 2.1 of the paper: a state variable assigned ``Up`` in state ``M``
+means the state signal is excited to rise there (current value 0, next
+value 1); ``Down`` is the falling mirror.  The binary encoding used by the
+SAT formulation is ``(current_value, excited)``::
+
+    0    -> (0, 0)      1    -> (1, 0)
+    Up   -> (0, 1)      Down -> (1, 1)
+
+so the bit used in state codes is literally the first component.
+
+This module also implements the two relations everything else is built on:
+
+* :data:`ALLOWED_EDGE_PAIRS` -- which ``(value, value')`` pairs are
+  consistent along a state graph edge (consistent state assignment plus
+  semi-modularity: an excited signal stays excited until it fires);
+* :func:`merge_values` -- Figure 3's rules for combining the values of
+  states merged by an ε region.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Value(Enum):
+    """A four-valued state-variable assignment."""
+
+    ZERO = "0"
+    ONE = "1"
+    UP = "Up"
+    DOWN = "Down"
+
+    def __repr__(self):
+        return f"Value.{self.name}"
+
+    @property
+    def cur(self):
+        """Current binary value: the bit contributed to state codes."""
+        return 0 if self in (Value.ZERO, Value.UP) else 1
+
+    @property
+    def excited(self):
+        """True when the state signal is enabled to fire."""
+        return self in (Value.UP, Value.DOWN)
+
+    @property
+    def implied(self):
+        """Next-state value: what the signal's logic function outputs."""
+        return 1 if self in (Value.UP, Value.ONE) else 0
+
+    @property
+    def bits(self):
+        """The SAT encoding ``(current_value, excited)``."""
+        return (self.cur, 1 if self.excited else 0)
+
+    @classmethod
+    def from_bits(cls, cur, excited):
+        return _FROM_BITS[(cur, excited)]
+
+
+_FROM_BITS = {
+    (0, 0): Value.ZERO,
+    (1, 0): Value.ONE,
+    (0, 1): Value.UP,
+    (1, 1): Value.DOWN,
+}
+
+#: The excitation cycle 0 -> Up -> 1 -> Down -> 0.
+CYCLE = (Value.ZERO, Value.UP, Value.ONE, Value.DOWN)
+
+#: Value pairs allowed across a state-graph edge that fires some *other*
+#: signal.  A value may stay put or advance one step along the cycle;
+#: anything else either breaks consistency (a jump 0 -> 1) or
+#: semi-modularity (an excited signal losing its excitation, Up -> 0).
+ALLOWED_EDGE_PAIRS = frozenset(
+    [(v, v) for v in CYCLE]
+    + [(CYCLE[i], CYCLE[(i + 1) % 4]) for i in range(4)]
+)
+
+
+def edge_compatible(before, after):
+    """True if ``before -> after`` is allowed along a state graph edge."""
+    return (before, after) in ALLOWED_EDGE_PAIRS
+
+
+def merge_values(values):
+    """Figure 3: merge the state-variable values of an ε-merged region.
+
+    Parameters
+    ----------
+    values:
+        Iterable of :class:`Value` carried by the merged states.
+
+    Returns
+    -------
+    Value or None
+        The merged value, or ``None`` when the members are inconsistent
+        (Figure 3(j,k)): the distinct values must form a contiguous arc of
+        the cycle 0 -> Up -> 1 -> Down -> 0 containing at most one excited
+        phase.  If the region contains an excited phase the merged value
+        is that phase (the transition happens *inside* the merged state);
+        otherwise all members agree and the common value is returned.
+    """
+    distinct = set(values)
+    if not distinct:
+        raise ValueError("cannot merge an empty set of values")
+    if len(distinct) == 1:
+        return next(iter(distinct))
+    if Value.UP in distinct and Value.DOWN in distinct:
+        return None
+    if len(distinct) > 3:
+        return None
+    # Check contiguity on the cycle: some rotation must line them up.
+    for start in range(4):
+        arc = [CYCLE[(start + offset) % 4] for offset in range(len(distinct))]
+        if distinct == set(arc):
+            break
+    else:
+        return None
+    if Value.UP in distinct:
+        return Value.UP
+    if Value.DOWN in distinct:
+        return Value.DOWN
+    # A contiguous arc of length >= 2 without an excited phase would have
+    # to contain both 0 and 1 adjacent on the cycle -- impossible.
+    return None

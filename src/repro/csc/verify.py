@@ -1,0 +1,48 @@
+"""CSC verification of (partially) solved state graphs.
+
+Used as the acceptance check of both synthesis methods: after state-signal
+insertion, the state graph -- extended by the state-signal code bits --
+must satisfy complete state coding, counting the inserted signals as
+non-input signals themselves.
+"""
+
+from __future__ import annotations
+
+from repro.stategraph.csc import csc_conflicts
+
+
+def verify_csc(graph, assignment=None):
+    """Remaining CSC violations of ``graph`` under ``assignment``.
+
+    Parameters
+    ----------
+    graph:
+        The complete state graph.
+    assignment:
+        Optional state-signal :class:`~repro.csc.assignment.Assignment`;
+        its current-value bits extend the state codes and its implied
+        values are checked like any other non-input signal's.
+
+    Returns
+    -------
+    list
+        Conflict pairs; empty iff CSC holds.
+    """
+    if assignment is None or assignment.num_signals == 0:
+        return csc_conflicts(graph)
+    return csc_conflicts(
+        graph,
+        extra_codes=assignment.cur_bits(),
+        extra_implied=assignment.implied_bits(),
+    )
+
+
+def assert_csc(graph, assignment=None, context=""):
+    """Raise ``AssertionError`` when CSC does not hold."""
+    violations = verify_csc(graph, assignment)
+    if violations:
+        suffix = f" ({context})" if context else ""
+        raise AssertionError(
+            f"CSC violated by {len(violations)} state pair(s){suffix}: "
+            f"{violations[:5]}"
+        )

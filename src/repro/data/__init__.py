@@ -1,0 +1,5 @@
+"""Packaged benchmark STGs (``*.g``).
+
+Regenerate with ``python -m repro.bench.make_data``; definitions live in
+:mod:`repro.bench.specs`.
+"""

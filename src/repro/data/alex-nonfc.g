@@ -1,0 +1,30 @@
+
+.model alex-nonfc
+.inputs a b
+.outputs g h w e
+.graph
+preq g+/1 g+/2
+pa g+/1
+pb g+/2
+a+ pa
+b+ pb
+g+/1 h+/1
+g+/2 h+/2
+h+/1 a-
+h+/2 b-
+a- g-/1
+b- g-/2
+g-/1 h-/1
+g-/2 h-/2
+h-/1 w+/1
+h-/2 w+/2
+w+/1 w-/1
+w+/2 w-/2
+w-/1 pj
+w-/2 pj
+pj e+
+e+ e-
+e- pin preq
+pin a+ b+
+.marking { pin preq }
+.end

@@ -1,0 +1,20 @@
+.model alloc-outbound
+.inputs r d
+.outputs a q x e f
+.graph
+a+ r-
+a- e+
+d+ a+
+d- x-
+e+ f+
+e- r+
+f+ f-
+f- e-
+q+ d+
+q- d-
+r+ q+ x+
+r- q-
+x+ a+
+x- a-
+.marking { <e-,r+> }
+.end

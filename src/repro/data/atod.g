@@ -1,0 +1,18 @@
+.model atod
+.inputs r d
+.outputs a q x e
+.graph
+a+ r-
+a- e+
+d+ a+ x+
+d- e+
+e+ e-
+e- r+
+q+ d+
+q- d-
+r+ q+
+r- a- q-
+x+ x-
+x- r-
+.marking { <e-,r+> }
+.end

@@ -1,0 +1,16 @@
+.model fifo
+.inputs r
+.outputs a b e
+.graph
+a+ r-
+a- r+/2
+b+ r-
+b- r+/2
+e+ r-/2
+e- r+
+r+ a+ b+
+r+/2 e+
+r- a- b-
+r-/2 e-
+.marking { <e-,r+> }
+.end

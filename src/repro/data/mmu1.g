@@ -1,0 +1,26 @@
+.model mmu1
+.inputs r d1 d2
+.outputs a q1 q2 x e
+.graph
+a+ r-
+a- e-
+d1+ q1+
+d1+/2 q1+/2
+d1- q1-
+d1-/2 q1-/2
+d2+ q2+
+d2- q2-
+e+ a-
+e- r+
+q1+ d1-
+q1+/2 a+
+q1- x+
+q1-/2 x-
+q2+ d2-
+q2- a+
+r+ d1+ d2+
+r- d1-/2 e+
+x+ d1+/2
+x- a-
+.marking { <e-,r+> }
+.end

@@ -1,0 +1,36 @@
+.model mr0
+.inputs r d1 d2 d3
+.outputs a q1 q2 q3 x y e
+.graph
+a+ r-
+a- e+
+d1+ q1+
+d1+/2 q1+/2
+d1- q1-
+d1-/2 q1-/2
+d2+ q2+
+d2+/2 q2+/2
+d2- q2-
+d2-/2 q2-/2
+d3+ q3+
+d3- q3-
+e+ e-
+e- r+
+q1+ d1-
+q1+/2 a+
+q1- x+
+q1-/2 x-
+q2+ d2-
+q2+/2 a+
+q2- y+
+q2-/2 y-
+q3+ a+
+q3- a-
+r+ d1+ d2+ d3+
+r- d1-/2 d2-/2 d3-
+x+ d1+/2
+x- a-
+y+ d2+/2
+y- a-
+.marking { <e-,r+> }
+.end

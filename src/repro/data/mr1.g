@@ -1,0 +1,30 @@
+.model mr1
+.inputs r d1 d2
+.outputs a q1 q2 x e
+.graph
+a+ r-
+a- r+
+d1+ q1+
+d1+/2 q1+/2
+d1- q1-
+d1-/2 q1-/2
+d2+ q2+
+d2+/2 q2+/2
+d2- q2-
+d2-/2 q2-/2
+e+ a+
+e- a-
+q1+ d1-
+q1+/2 a+
+q1- x+
+q1-/2 x-
+q2+ d2-
+q2+/2 a+
+q2- d2+/2
+q2-/2 a-
+r+ d1+ d2+ e+
+r- d1-/2 d2-/2 e-
+x+ d1+/2
+x- a-
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,24 @@
+.model nak-pa
+.inputs r d1 d2 d3
+.outputs a q1 q2 q3 e
+.graph
+a+ r-
+a- e+
+d1+ a+
+d1- a-
+d2+ a+
+d2- a-
+d3+ a+
+d3- a-
+e+ e-
+e- r+
+q1+ d1+
+q1- d1-
+q2+ d2+
+q2- d2-
+q3+ d3+
+q3- d3-
+r+ q1+ q2+ q3+
+r- q1- q2- q3-
+.marking { <e-,r+> }
+.end

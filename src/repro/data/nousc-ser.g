@@ -1,0 +1,12 @@
+.model nousc-ser
+.inputs a
+.outputs b c
+.graph
+a+ b+
+a- c+
+b+ b-
+b- a-
+c+ c-
+c- a+
+.marking { <c-,a+> }
+.end

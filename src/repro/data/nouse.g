@@ -1,0 +1,14 @@
+.model nouse
+.inputs a
+.outputs b c
+.graph
+a+ b+
+a+/2 c+
+a- b-
+a-/2 c-
+b+ a-
+b- a+/2
+c+ a-/2
+c- a+
+.marking { <c-,a+> }
+.end

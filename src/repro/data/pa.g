@@ -1,0 +1,18 @@
+.model pa
+.inputs r
+.outputs a b e
+.graph
+a+ a-
+a+/2 a-/2
+a- r-
+a-/2 b-/2
+b+ b-
+b+/2 b-/2
+b- r-
+b-/2 e+
+e+ e-
+e- r+
+r+ a+ b+
+r- a+/2 b+/2
+.marking { <e-,r+> }
+.end

@@ -1,0 +1,28 @@
+.model pe-rcv-ifc-fc
+.inputs r d1 x
+.outputs a q1 y e w
+.graph
+a+ r-
+a- e+
+d1+ q1+
+d1+/2 q1+/2
+d1- q1-
+e+ e-
+e- r+
+p2 w+
+q1+ p2
+q1+/2 p2
+q1- w-
+r+ p1
+r- d1- x+/2
+w+ a+
+w- a-
+x+ x-
+x+/2 y+
+x- d1+/2
+x-/2 y-
+y+ x-/2
+y- w-
+p1 d1+ x+
+.marking { <e-,r+> }
+.end

@@ -1,0 +1,26 @@
+.model ram-read-sbuf
+.inputs r d1 d2
+.outputs a q1 q2 w v u e
+.graph
+a+ r-
+a- e+
+d1+ w+
+d1- v+
+d2+ w+
+d2- v+
+e+ e-
+e- r+
+q1+ d1+
+q1- d1-
+q2+ d2+
+q2- d2-
+r+ q1+ q2+
+r- q1- q2- u+
+u+ u-
+u- v+
+v+ v-
+v- w-
+w+ a+
+w- a-
+.marking { <e-,r+> }
+.end

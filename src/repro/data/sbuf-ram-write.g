@@ -1,0 +1,28 @@
+.model sbuf-ram-write
+.inputs r d1 d2 d3
+.outputs a q1 q2 q3 w e
+.graph
+a+ r-
+a- e+/2
+d1+ w+
+d1- w-
+d2+ w+
+d2- w-
+d3+ w+
+d3- w-
+e+ e-
+e+/2 e-/2
+e- a+
+e-/2 r+
+q1+ d1+
+q1- d1-
+q2+ d2+
+q2- d2-
+q3+ d3+
+q3- d3-
+r+ q1+ q2+ q3+
+r- q1- q2- q3-
+w+ e+
+w- a-
+.marking { <e-/2,r+> }
+.end

@@ -1,0 +1,18 @@
+.model sbuf-read-ctl
+.inputs r d
+.outputs a q e f
+.graph
+a+ r-
+a- e+
+d+ a+
+d- a-
+e+ e-
+e- r+
+f+ f-
+f- a-
+q+ d+
+q- d-
+r+ q+
+r- f+ q-
+.marking { <e-,r+> }
+.end

@@ -1,0 +1,20 @@
+.model sbuf-send-ctl
+.inputs r d
+.outputs a q e x
+.graph
+a+ e+
+a- e+/2
+d+ a+
+d- a-
+e+ e-
+e+/2 e-/2
+e- r-
+e-/2 r+
+q+ d+
+q- d-
+r+ q+
+r- q- x+
+x+ x-
+x- a-
+.marking { <e-/2,r+> }
+.end

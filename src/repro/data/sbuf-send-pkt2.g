@@ -1,0 +1,18 @@
+.model sbuf-send-pkt2
+.inputs r d
+.outputs a q x e
+.graph
+a+ r-
+a- e+
+d+ a+
+d- a-
+e+ e-
+e- r+
+q+ d+
+q- d-
+r+ q+ x+
+r- q- x-
+x+ a+
+x- a-
+.marking { <e-,r+> }
+.end

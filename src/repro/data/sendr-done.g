@@ -1,0 +1,12 @@
+.model sendr-done
+.inputs req
+.outputs sendr done
+.graph
+done+ req-
+done- req+
+req+ sendr+
+req- done-
+sendr+ sendr-
+sendr- done+
+.marking { <done-,req+> }
+.end

@@ -1,0 +1,12 @@
+.model vbe-ex1
+.inputs a
+.outputs b
+.graph
+a+ b+
+a- b+/2
+b+ b-
+b+/2 b-/2
+b- a-
+b-/2 a+
+.marking { <b-/2,a+> }
+.end

@@ -1,0 +1,14 @@
+.model vbe-ex2
+.inputs a
+.outputs b
+.graph
+a+ b+
+a- b+/2
+b+ b-
+b+/2 b-/2
+b+/3 b-/3
+b- a-
+b-/2 b+/3
+b-/3 a+
+.marking { <b-/3,a+> }
+.end

@@ -1,0 +1,28 @@
+.model vbe4a
+.inputs a b
+.outputs c d e f
+.graph
+a+ c+ d+
+a- c+/2 d+/3
+b+ c-
+b- f+
+c+ b+
+c+/2 c-/2
+c+/3 c-/3
+c- b-
+c-/2 c+/3
+c-/3 f-
+d+ d-
+d+/2 d-/2
+d+/3 d-/3
+d+/4 d-/4
+d- d+/2
+d-/2 f+
+d-/3 d+/4
+d-/4 f-
+e+ e-
+e- a+
+f+ a-
+f- e+
+.marking { <e-,a+> }
+.end

@@ -1,0 +1,16 @@
+.model wrdata
+.inputs r
+.outputs a b e
+.graph
+a+ e+
+a- e+/2
+b+ e+
+b- e+/2
+e+ e-
+e+/2 e-/2
+e- r-
+e-/2 r+
+r+ a+ b+
+r- a- b-
+.marking { <e-/2,r+> }
+.end

@@ -1,0 +1,85 @@
+"""BLIF netlist export.
+
+BLIF (Berkeley Logic Interchange Format) is the format the SIS tools the
+paper built on exchanged logic in; emitting it makes the synthesised
+controllers consumable by the classic downstream flow (technology
+mapping, hazard-aware decomposition) and by modern tools that still read
+BLIF (ABC, Yosys).
+
+Each non-input signal becomes one ``.names`` table computing its
+next-state function; the feedback (output back to input) is what makes
+the netlist an asynchronous circuit rather than a combinational block,
+so every non-input appears both as a table output and as a table input.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cover import DASH
+
+
+def write_blif(covers, signals, inputs, model="circuit"):
+    """Serialise next-state covers as a BLIF model.
+
+    Parameters
+    ----------
+    covers:
+        Mapping ``signal -> Cover``; every cover ranges over ``signals``.
+    signals:
+        The ordered input-variable tuple (the state graph's code order).
+    inputs:
+        The environment-driven signals.
+    model:
+        The ``.model`` name.
+
+    Returns
+    -------
+    str
+    """
+    signals = list(signals)
+    inputs = [s for s in signals if s in set(inputs)]
+    non_inputs = [s for s in signals if s not in set(inputs)]
+    missing = set(non_inputs) - set(covers)
+    if missing:
+        raise ValueError(f"covers missing for: {sorted(missing)}")
+
+    lines = [f".model {model}"]
+    lines.append(".inputs " + " ".join(inputs))
+    lines.append(".outputs " + " ".join(non_inputs))
+    for signal in non_inputs:
+        cover = covers[signal]
+        if cover.n != len(signals):
+            raise ValueError(
+                f"cover for {signal!r} ranges over {cover.n} variables, "
+                f"expected {len(signals)}"
+            )
+        # Feedback: the signal's own current value is one of the fanins.
+        lines.append(".names " + " ".join(signals) + f" {signal}_next")
+        if not len(cover):
+            lines.append("# constant 0")
+        for cube in cover:
+            pattern = "".join(
+                "-" if position == DASH else str(position)
+                for position in cube
+            )
+            lines.append(f"{pattern} 1")
+        # In the speed-independent style the gate output *is* the signal;
+        # BLIF needs an explicit buffer from the next-state net.
+        lines.append(f".names {signal}_next {signal}")
+        lines.append("1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_synthesis_blif(result, stg_inputs, model=None):
+    """BLIF for a synthesis result (modular, direct or baseline)."""
+    if result.covers is None:
+        raise ValueError(
+            "synthesis result has no covers; run with minimize=True"
+        )
+    graph = result.expanded
+    return write_blif(
+        result.covers,
+        graph.signals,
+        stg_inputs,
+        model=model or "async_circuit",
+    )

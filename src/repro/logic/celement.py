@@ -1,0 +1,119 @@
+"""Generalised C-element realisation of next-state functions.
+
+The single-cover form (`repro.logic.extract`) implements each non-input
+as one complex gate computing its next value.  The classic alternative
+for speed-independent circuits realises each signal as a *generalised
+C-element*: a SET network that pulls high while the signal is excited to
+rise, a RESET network that pulls low while it is excited to fall, and a
+state-holding element in between.  The SET cover only needs to cover the
+rising excitation region (offset: every state where the signal must not
+be driven high), which is often much smaller than the full next-state
+function -- the area trade-off async designers actually weigh.
+"""
+
+from __future__ import annotations
+
+from repro.logic.espresso import espresso
+from repro.stg.model import FALL, RISE
+
+
+def excitation_regions(graph, signal):
+    """ON/OFF minterm sets for a signal's SET and RESET networks.
+
+    SET must hold exactly on the rising excitation region (codes where
+    the signal is excited to rise); it must be off wherever the signal is
+    stable low or excited to fall (driving there would fight the reset
+    or glitch).  States where the signal is high and stable are don't
+    cares for SET (the C-element holds).  RESET is the mirror image.
+
+    Returns
+    -------
+    (set_onset, set_offset, reset_onset, reset_offset)
+        Lists of code tuples.
+    """
+    set_onset, set_offset = set(), set()
+    reset_onset, reset_offset = set(), set()
+    for state in graph.states():
+        code = graph.code_of(state)
+        direction = graph.excitation(state).get(signal)
+        value = graph.value(state, signal)
+        if direction == RISE:
+            set_onset.add(code)
+            reset_offset.add(code)
+        elif direction == FALL:
+            reset_onset.add(code)
+            set_offset.add(code)
+        elif value == 0:
+            set_offset.add(code)
+            # reset may stay asserted while the signal is stable low.
+        else:
+            reset_offset.add(code)
+    # CSC guarantees the regions are consistent; overlapping on/off sets
+    # would mean the graph was not actually solved.
+    for onset, offset, network in (
+        (set_onset, set_offset, "SET"),
+        (reset_onset, reset_offset, "RESET"),
+    ):
+        clash = onset & offset
+        if clash:
+            raise ValueError(
+                f"{network} network of {signal!r} is contradictory on "
+                f"{len(clash)} code(s); the graph does not satisfy CSC"
+            )
+    return (
+        sorted(set_onset), sorted(set_offset),
+        sorted(reset_onset), sorted(reset_offset),
+    )
+
+
+class CElementImplementation:
+    """SET/RESET covers of one signal's generalised C-element."""
+
+    def __init__(self, signal, set_cover, reset_cover):
+        self.signal = signal
+        self.set_cover = set_cover
+        self.reset_cover = reset_cover
+
+    @property
+    def literals(self):
+        return self.set_cover.literals + self.reset_cover.literals
+
+    def __repr__(self):
+        return (
+            f"CElementImplementation({self.signal!r}, "
+            f"set={self.set_cover.literals} lits, "
+            f"reset={self.reset_cover.literals} lits)"
+        )
+
+
+def synthesize_celements(graph, signals=None):
+    """Generalised C-element covers for each non-input signal.
+
+    Parameters
+    ----------
+    graph:
+        A CSC-satisfying state graph (e.g. a synthesis result's
+        ``expanded``).
+    signals:
+        Signals to realise; defaults to all non-inputs.
+
+    Returns
+    -------
+    (dict, int)
+        ``implementations[signal] -> CElementImplementation`` and the
+        total literal count across all SET and RESET networks.
+    """
+    chosen = sorted(graph.non_inputs) if signals is None else list(signals)
+    n = len(graph.signals)
+    implementations = {}
+    for signal in chosen:
+        set_on, set_off, reset_on, reset_off = excitation_regions(
+            graph, signal
+        )
+        implementations[signal] = CElementImplementation(
+            signal,
+            espresso(set_on, set_off, n),
+            espresso(reset_on, reset_off, n),
+        )
+    total = sum(impl.literals for impl in implementations.values())
+    return implementations, total

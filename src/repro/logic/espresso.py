@@ -1,0 +1,255 @@
+"""An espresso-like two-level minimizer.
+
+Produces a prime irredundant cover of an incompletely specified function
+given its ON-set and OFF-set minterms (everything else is don't-care --
+the natural shape for state-graph logic, where unreachable codes are
+free).  The loop is the classic espresso recipe: EXPAND each cube to a
+prime against the OFF-set, extract an IRREDUNDANT subset, REDUCE cubes to
+the smallest cube covering their essential minterms, and iterate while
+the literal count improves.
+
+Internally cubes are ``(value, care)`` integer bit masks, which keeps the
+inner containment checks O(1); the public API speaks
+:class:`~repro.logic.cover.Cube`/:class:`~repro.logic.cover.Cover`.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cover import DASH, Cover, Cube
+
+_MAX_ROUNDS = 6
+
+
+def espresso(onset, offset, n):
+    """Minimise the function with the given ON-set and OFF-set.
+
+    Parameters
+    ----------
+    onset / offset:
+        Iterables of minterms -- tuples of 0/1 of length ``n``.  The two
+        sets must be disjoint; minterms in neither are don't-cares.
+    n:
+        Number of input variables.
+
+    Returns
+    -------
+    Cover
+        A prime irredundant cover of the ON-set that avoids the OFF-set.
+    """
+    on_ints = sorted({_to_int(bits, n) for bits in onset})
+    off_ints = sorted({_to_int(bits, n) for bits in offset})
+    overlap = set(on_ints) & set(off_ints)
+    if overlap:
+        raise ValueError(
+            f"ON-set and OFF-set overlap on {len(overlap)} minterm(s)"
+        )
+    if not on_ints:
+        return Cover(n)
+
+    full_mask = (1 << n) - 1
+    cubes = [(m, full_mask) for m in on_ints]
+
+    best = None
+    for round_index in range(_MAX_ROUNDS):
+        order = _var_order(n, round_index)
+        cubes = _expand(cubes, off_ints, order)
+        cubes = _remove_covered(cubes)
+        cubes = _irredundant(cubes, on_ints)
+        cost = _cost(cubes)
+        if best is None or cost < best[0]:
+            best = (cost, list(cubes))
+        else:
+            break
+        cubes = _reduce(cubes, on_ints, full_mask)
+    cubes = best[1]
+    return Cover(n, (_to_cube(value, care, n) for value, care in cubes))
+
+
+def verify_cover(cover, onset, offset):
+    """Check a cover implements the incompletely specified function.
+
+    Returns a list of human-readable problems (empty when correct): ON-set
+    minterms left uncovered and OFF-set minterms wrongly covered.
+    """
+    problems = []
+    for bits in onset:
+        if not cover.contains_minterm(bits):
+            problems.append(f"ON minterm {bits} not covered")
+    for bits in offset:
+        if cover.contains_minterm(bits):
+            problems.append(f"OFF minterm {bits} covered")
+    return problems
+
+
+# -- bit-mask internals ------------------------------------------------------
+
+
+def _to_int(bits, n):
+    if len(bits) != n:
+        raise ValueError(f"minterm {bits} does not have {n} bits")
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"minterm {bits} has non-binary entry")
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def _to_cube(value, care, n):
+    positions = []
+    for i in range(n):
+        bit = 1 << i
+        if care & bit:
+            positions.append(1 if value & bit else 0)
+        else:
+            positions.append(DASH)
+    return Cube(positions)
+
+
+def _var_order(n, round_index):
+    """Rotate the expansion order between rounds to escape local minima."""
+    order = list(range(n))
+    if n:
+        shift = round_index % n
+        order = order[shift:] + order[:shift]
+    return order
+
+
+def _intersects_offset(value, care, off_ints):
+    for m in off_ints:
+        if not (m ^ value) & care:
+            return True
+    return False
+
+
+def _expand(cubes, off_ints, order):
+    """Raise every cube to a prime against the OFF-set."""
+    expanded = []
+    for value, care in cubes:
+        for i in order:
+            bit = 1 << i
+            if not care & bit:
+                continue
+            new_care = care & ~bit
+            if not _intersects_offset(value & new_care, new_care, off_ints):
+                care = new_care
+                value &= new_care
+        expanded.append((value, care))
+    return expanded
+
+
+def _covers(a, b):
+    """Cube ``a`` covers cube ``b``."""
+    value_a, care_a = a
+    value_b, care_b = b
+    return not (care_a & ~care_b) and not ((value_a ^ value_b) & care_a)
+
+
+def _remove_covered(cubes):
+    result = []
+    for i, cube in enumerate(cubes):
+        redundant = False
+        for j, other in enumerate(cubes):
+            if j == i:
+                continue
+            if other == cube:
+                if j < i:  # keep only the first duplicate
+                    redundant = True
+                    break
+                continue
+            if _covers(other, cube):
+                redundant = True
+                break
+        if not redundant:
+            result.append(cube)
+    return result
+
+
+def _coverage(cubes, on_ints):
+    """For each ON minterm, the indices of cubes containing it."""
+    table = {}
+    for m in on_ints:
+        covering = [
+            index
+            for index, (value, care) in enumerate(cubes)
+            if not (m ^ value) & care
+        ]
+        if not covering:
+            raise AssertionError(
+                f"minimizer invariant broken: ON minterm {m} uncovered"
+            )
+        table[m] = covering
+    return table
+
+
+def _irredundant(cubes, on_ints):
+    """Greedy minimal subset: essentials first, then largest gain."""
+    table = _coverage(cubes, on_ints)
+    chosen = set()
+    for m, covering in table.items():
+        if len(covering) == 1:
+            chosen.add(covering[0])
+    uncovered = {
+        m for m, covering in table.items()
+        if not any(index in chosen for index in covering)
+    }
+    while uncovered:
+        gains = {}
+        for m in uncovered:
+            for index in table[m]:
+                gains[index] = gains.get(index, 0) + 1
+        # Largest gain; ties broken by fewer literals (more dashes).
+        best_index = max(
+            gains,
+            key=lambda index: (gains[index], -_bit_count(cubes[index][1])),
+        )
+        chosen.add(best_index)
+        uncovered = {
+            m for m in uncovered
+            if best_index not in table[m]
+        }
+    return [cube for index, cube in enumerate(cubes) if index in chosen]
+
+
+def _reduce(cubes, on_ints, full_mask):
+    """Shrink each cube onto the ON minterms it alone is responsible for.
+
+    Processed sequentially so the cover property is preserved: a cube only
+    sheds minterms that some *current* other cube still covers.
+    """
+    current = list(cubes)
+    for index in range(len(current)):
+        value, care = current[index]
+        mine = []
+        for m in on_ints:
+            if (m ^ value) & care:
+                continue
+            if not any(
+                not (m ^ ov) & oc
+                for j, (ov, oc) in enumerate(current)
+                if j != index
+            ):
+                mine.append(m)
+        if mine:
+            current[index] = _supercube(mine, full_mask)
+    return current
+
+
+def _supercube(minterms, full_mask):
+    first = minterms[0]
+    diff = 0
+    for m in minterms[1:]:
+        diff |= first ^ m
+    care = full_mask & ~diff
+    return (first & care, care)
+
+
+def _cost(cubes):
+    """(total literals, cube count): the comparison key between rounds."""
+    literals = sum(_bit_count(care) for _value, care in cubes)
+    return (literals, len(cubes))
+
+
+def _bit_count(x):
+    return bin(x).count("1")

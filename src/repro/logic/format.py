@@ -1,0 +1,44 @@
+"""Human-readable rendering of covers as Boolean expressions."""
+
+from __future__ import annotations
+
+from repro.logic.cover import DASH
+
+
+def cube_to_expression(cube, names):
+    """Render one cube as a product term, e.g. ``a & !b``."""
+    if len(names) != cube.n:
+        raise ValueError(
+            f"{len(names)} names for a cube over {cube.n} variables"
+        )
+    factors = []
+    for name, position in zip(names, cube):
+        if position == DASH:
+            continue
+        factors.append(name if position == 1 else f"!{name}")
+    return " & ".join(factors) if factors else "1"
+
+
+def cover_to_expression(cover, names):
+    """Render a cover as a sum-of-products expression.
+
+    >>> from repro.logic.cover import Cover
+    >>> cover_to_expression(Cover.from_strings(2, ["1-", "01"]), ["a", "b"])
+    'a | !a & b'
+    """
+    if not len(cover):
+        return "0"
+    return " | ".join(cube_to_expression(cube, names) for cube in cover)
+
+
+def equations(covers, signals):
+    """``signal = expression`` lines for a ``signal -> Cover`` mapping.
+
+    ``signals`` is the ordered input-variable name tuple (the state
+    graph's code signals).
+    """
+    lines = []
+    for name in sorted(covers):
+        expression = cover_to_expression(covers[name], list(signals))
+        lines.append(f"{name} = {expression}")
+    return lines

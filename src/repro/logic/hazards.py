@@ -1,0 +1,61 @@
+"""Static hazard analysis of two-level covers.
+
+The paper hands hazard removal off to known techniques (Lavagno et al.
+DAC'91); we provide the detection half: a static-1 hazard exists when two
+adjacent ON minterms (Hamming distance one) are not covered by any single
+cube, so the output may glitch while the input crosses between them.
+Covering such a pair with a consensus cube removes the hazard.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cover import DASH, Cube
+
+
+def static_hazards(cover, onset):
+    """Static-1 hazard pairs of ``cover`` over the given ON-set.
+
+    Parameters
+    ----------
+    cover:
+        A :class:`~repro.logic.cover.Cover` implementing the function.
+    onset:
+        The ON-set minterms the function must hold 1 across.
+
+    Returns
+    -------
+    list
+        Pairs of adjacent ON minterms not covered by a common cube.
+    """
+    onset = [tuple(m) for m in onset]
+    present = set(onset)
+    hazards = []
+    for m in onset:
+        for i in range(len(m)):
+            neighbour = m[:i] + (1 - m[i],) + m[i + 1:]
+            if neighbour <= m or neighbour not in present:
+                continue
+            if not any(
+                cube.contains_minterm(m) and cube.contains_minterm(neighbour)
+                for cube in cover
+            ):
+                hazards.append((m, neighbour))
+    return hazards
+
+
+def hazard_free_patch(cover, hazards):
+    """Consensus cubes that cover each hazard pair.
+
+    Returns a list of :class:`Cube` objects; appending them to the cover
+    removes the corresponding static-1 hazards (at an area cost, as in the
+    hazard-removal literature the paper cites).
+    """
+    patches = []
+    for a, b in hazards:
+        positions = [
+            DASH if bit_a != bit_b else bit_a for bit_a, bit_b in zip(a, b)
+        ]
+        cube = Cube(positions)
+        if cube not in patches:
+            patches.append(cube)
+    return patches

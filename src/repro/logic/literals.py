@@ -1,0 +1,13 @@
+"""Literal counting: the paper's implementation-area metric."""
+
+from __future__ import annotations
+
+
+def literal_count(cover):
+    """Literals of one cover (the unfactored sum-of-products form)."""
+    return cover.literals
+
+
+def total_literals(covers):
+    """Summed literal count over a ``signal -> Cover`` mapping."""
+    return sum(cover.literals for cover in covers.values())

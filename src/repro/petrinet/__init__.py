@@ -1,0 +1,44 @@
+"""Petri net kernel.
+
+A Petri net is the quadruple ``<P, T, F, M0>`` of the paper's Section 2: a
+finite set of places, a finite set of transitions, a flow relation between
+them, and an initial marking.  This package provides the net structure
+itself (:class:`PetriNet`), immutable markings (:class:`Marking`), the
+reachability graph construction used to derive state graphs
+(:mod:`repro.petrinet.reachability`), structural/behavioural property
+checks (:mod:`repro.petrinet.properties`) and a small fluent builder
+(:mod:`repro.petrinet.builder`).
+"""
+
+from repro.petrinet.errors import (
+    NetStructureError,
+    PetriNetError,
+    UnboundedNetError,
+)
+from repro.petrinet.marking import Marking
+from repro.petrinet.net import PetriNet
+from repro.petrinet.builder import NetBuilder
+from repro.petrinet.reachability import ReachabilityGraph, reachability_graph
+from repro.petrinet.properties import (
+    is_free_choice,
+    is_live,
+    is_marked_graph,
+    is_safe,
+    is_state_machine,
+)
+
+__all__ = [
+    "Marking",
+    "NetBuilder",
+    "NetStructureError",
+    "PetriNet",
+    "PetriNetError",
+    "ReachabilityGraph",
+    "UnboundedNetError",
+    "is_free_choice",
+    "is_live",
+    "is_marked_graph",
+    "is_safe",
+    "is_state_machine",
+    "reachability_graph",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the Petri net kernel."""
+
+
+class PetriNetError(Exception):
+    """Base class for every error raised by :mod:`repro.petrinet`."""
+
+
+class NetStructureError(PetriNetError):
+    """The net definition itself is malformed.
+
+    Raised for arcs that reference undeclared nodes, duplicate node names,
+    place/transition name collisions, and similar structural problems.
+    """
+
+
+class UnboundedNetError(PetriNetError):
+    """Reachability exploration exceeded the configured bound.
+
+    Signal transition graphs must be bounded (in practice 1-safe) for a
+    finite state graph to exist; exploration aborts with this error when a
+    place's token count exceeds the allowed bound or when the number of
+    reachable markings exceeds the exploration limit.
+    """
+
+    def __init__(self, message, markings_seen=None):
+        super().__init__(message)
+        #: Number of markings generated before exploration aborted, when
+        #: known.  ``None`` if the error was raised before counting started.
+        self.markings_seen = markings_seen

@@ -1,0 +1,215 @@
+"""The Petri net structure ``<P, T, F, M0>``.
+
+All arcs have weight one, which is the class of nets signal transition
+graphs are built from (Section 2 of the paper).  Multiple parallel arcs
+between the same pair of nodes are rejected.
+"""
+
+from __future__ import annotations
+
+from repro.petrinet.errors import NetStructureError
+from repro.petrinet.marking import Marking
+
+
+class PetriNet:
+    """A weight-1 Petri net with an initial marking.
+
+    Parameters
+    ----------
+    places:
+        Iterable of place names.
+    transitions:
+        Iterable of transition names.  Names must be disjoint from places.
+    arcs:
+        Iterable of ``(source, target)`` pairs; each pair must connect a
+        place to a transition or a transition to a place.
+    initial_marking:
+        Anything accepted by :class:`~repro.petrinet.marking.Marking`; every
+        marked place must be declared.
+    """
+
+    def __init__(self, places, transitions, arcs, initial_marking=()):
+        self._places = frozenset(places)
+        self._transitions = frozenset(transitions)
+        overlap = self._places & self._transitions
+        if overlap:
+            raise NetStructureError(
+                f"names used as both place and transition: {sorted(overlap)}"
+            )
+
+        self._preset = {t: set() for t in self._transitions}
+        self._postset = {t: set() for t in self._transitions}
+        self._place_preset = {p: set() for p in self._places}
+        self._place_postset = {p: set() for p in self._places}
+        seen = set()
+        for source, target in arcs:
+            if (source, target) in seen:
+                raise NetStructureError(
+                    f"duplicate arc {source!r} -> {target!r}"
+                )
+            seen.add((source, target))
+            if source in self._places and target in self._transitions:
+                self._preset[target].add(source)
+                self._place_postset[source].add(target)
+            elif source in self._transitions and target in self._places:
+                self._postset[source].add(target)
+                self._place_preset[target].add(source)
+            else:
+                raise NetStructureError(
+                    f"arc {source!r} -> {target!r} does not connect a "
+                    "declared place with a declared transition"
+                )
+
+        marking = Marking(initial_marking)
+        unknown = marking.places() - self._places
+        if unknown:
+            raise NetStructureError(
+                f"initial marking uses undeclared places: {sorted(unknown)}"
+            )
+        self._initial = marking
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def places(self):
+        """Frozenset of place names."""
+        return self._places
+
+    @property
+    def transitions(self):
+        """Frozenset of transition names."""
+        return self._transitions
+
+    @property
+    def initial_marking(self):
+        """The initial :class:`Marking` ``M0``."""
+        return self._initial
+
+    def arcs(self):
+        """All arcs as sorted ``(source, target)`` pairs."""
+        result = []
+        for t in self._transitions:
+            result.extend((p, t) for p in self._preset[t])
+            result.extend((t, p) for p in self._postset[t])
+        return sorted(result)
+
+    def preset(self, transition):
+        """Fanin places of a transition (its ``•t``)."""
+        self._require_transition(transition)
+        return frozenset(self._preset[transition])
+
+    def postset(self, transition):
+        """Fanout places of a transition (its ``t•``)."""
+        self._require_transition(transition)
+        return frozenset(self._postset[transition])
+
+    def place_preset(self, place):
+        """Fanin transitions of a place (its ``•p``)."""
+        self._require_place(place)
+        return frozenset(self._place_preset[place])
+
+    def place_postset(self, place):
+        """Fanout transitions of a place (its ``p•``)."""
+        self._require_place(place)
+        return frozenset(self._place_postset[place])
+
+    def _require_transition(self, transition):
+        if transition not in self._transitions:
+            raise NetStructureError(f"unknown transition {transition!r}")
+
+    def _require_place(self, place):
+        if place not in self._places:
+            raise NetStructureError(f"unknown place {place!r}")
+
+    # -- token game --------------------------------------------------------
+
+    def enabled(self, marking, transition=None):
+        """Enabled transitions in ``marking``.
+
+        With a ``transition`` argument, returns a bool for that transition;
+        otherwise returns the sorted list of all enabled transitions.
+        """
+        if transition is not None:
+            self._require_transition(transition)
+            return marking.covers(self._preset[transition])
+        return sorted(
+            t for t in self._transitions if marking.covers(self._preset[t])
+        )
+
+    def fire(self, marking, transition):
+        """Fire ``transition`` from ``marking`` and return the new marking.
+
+        Raises
+        ------
+        ValueError
+            If the transition is not enabled.
+        """
+        self._require_transition(transition)
+        if not marking.covers(self._preset[transition]):
+            raise ValueError(
+                f"transition {transition!r} is not enabled in {marking!r}"
+            )
+        return marking.remove(self._preset[transition]).add(
+            self._postset[transition]
+        )
+
+    def fire_sequence(self, sequence, marking=None):
+        """Fire a sequence of transitions, returning the final marking.
+
+        Starts from ``marking`` (default: the initial marking).
+        """
+        current = self._initial if marking is None else marking
+        for transition in sequence:
+            current = self.fire(current, transition)
+        return current
+
+    # -- derived nets --------------------------------------------------------
+
+    def with_marking(self, marking):
+        """A copy of this net whose initial marking is ``marking``."""
+        return PetriNet(
+            self._places, self._transitions, self.arcs(), marking
+        )
+
+    def renamed_transitions(self, mapping):
+        """A copy with transitions renamed through ``mapping``.
+
+        Transitions absent from the mapping keep their name.  The mapping
+        must not merge two transitions into one.
+        """
+        new_names = {t: mapping.get(t, t) for t in self._transitions}
+        if len(set(new_names.values())) != len(new_names):
+            raise NetStructureError("transition renaming is not injective")
+        arcs = []
+        for source, target in self.arcs():
+            arcs.append(
+                (new_names.get(source, source), new_names.get(target, target))
+            )
+        return PetriNet(
+            self._places, set(new_names.values()), arcs, self._initial
+        )
+
+    def to_networkx(self):
+        """The net as a bipartite :class:`networkx.DiGraph`.
+
+        Nodes carry a ``kind`` attribute (``"place"``/``"transition"``)
+        and places their initial ``tokens``; handy for drawing and for
+        structural analysis with the networkx toolbox.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for place in self._places:
+            graph.add_node(
+                place, kind="place", tokens=self._initial[place]
+            )
+        for transition in self._transitions:
+            graph.add_node(transition, kind="transition")
+        graph.add_edges_from(self.arcs())
+        return graph
+
+    def __repr__(self):
+        return (
+            f"PetriNet(|P|={len(self._places)}, |T|={len(self._transitions)}, "
+            f"|F|={len(self.arcs())})"
+        )

@@ -1,0 +1,102 @@
+"""Structural and behavioural Petri net properties.
+
+These are the net classes the synthesis literature keys on: *marked graphs*
+(pure concurrency, the class handled by Lin/Vanbekbergen/Yu's early
+methods), *state machines* (pure choice), *free-choice* nets (the class
+handled by Lavagno & Moon), plus safety and liveness which every STG must
+satisfy for a speed-independent circuit to exist.
+"""
+
+from __future__ import annotations
+
+from repro.petrinet.reachability import reachability_graph
+
+
+def is_marked_graph(net):
+    """True if every place has at most one fanin and one fanout transition.
+
+    Marked graphs express concurrency but no choice.
+    """
+    return all(
+        len(net.place_preset(p)) <= 1 and len(net.place_postset(p)) <= 1
+        for p in net.places
+    )
+
+
+def is_state_machine(net):
+    """True if every transition has exactly one fanin and one fanout place.
+
+    State machines express choice but no concurrency.
+    """
+    return all(
+        len(net.preset(t)) == 1 and len(net.postset(t)) == 1
+        for t in net.transitions
+    )
+
+
+def is_free_choice(net):
+    """True if the net is free-choice.
+
+    A net is free-choice when for every place ``p`` with more than one
+    fanout transition, each of those transitions has ``{p}`` as its entire
+    preset: choice is never influenced by the rest of the net.
+    """
+    for place in net.places:
+        fanout = net.place_postset(place)
+        if len(fanout) > 1:
+            for transition in fanout:
+                if net.preset(transition) != frozenset({place}):
+                    return False
+    return True
+
+
+def is_safe(net, graph=None, **explore_kwargs):
+    """True if no reachable marking puts more than one token in a place.
+
+    Accepts a precomputed reachability ``graph`` to avoid re-exploration.
+    """
+    if graph is None:
+        graph = reachability_graph(net, **explore_kwargs)
+    return all(m.is_safe() for m in graph.markings)
+
+
+def is_live(net, graph=None, **explore_kwargs):
+    """True if from every reachable marking, every transition can still fire.
+
+    This is liveness in the classical (L4) sense, decided on the finite
+    reachability graph: for each reachable marking ``M`` and each transition
+    ``t``, some marking reachable from ``M`` enables ``t``.  Bounded STGs
+    describing non-terminating handshake circuits are expected to be live.
+    """
+    if graph is None:
+        graph = reachability_graph(net, **explore_kwargs)
+    if not graph.markings:
+        return not net.transitions
+
+    # Backward closure per transition: the set of markings from which the
+    # transition is still fireable.
+    index = {m: i for i, m in enumerate(graph.markings)}
+    reverse = [[] for _ in graph.markings]
+    for source, _t, target in graph.edges:
+        reverse[index[target]].append(index[source])
+
+    for transition in net.transitions:
+        can_reach = [False] * len(graph.markings)
+        stack = []
+        for source, fired, _target in graph.edges:
+            if fired == transition:
+                i = index[source]
+                if not can_reach[i]:
+                    can_reach[i] = True
+                    stack.append(i)
+        if not stack:
+            return False  # transition is dead from the start
+        while stack:
+            node = stack.pop()
+            for pred in reverse[node]:
+                if not can_reach[pred]:
+                    can_reach[pred] = True
+                    stack.append(pred)
+        if not all(can_reach):
+            return False
+    return True

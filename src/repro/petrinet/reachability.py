@@ -1,0 +1,124 @@
+"""Reachability graph construction.
+
+The state graph of an STG is "derived by exhaustively generating all
+possible markings" (paper, Section 2).  This module provides that
+exhaustive generation for any bounded Petri net, with explicit bounds so
+that unbounded specifications fail loudly instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.petrinet.errors import UnboundedNetError
+
+#: Default cap on the number of reachable markings explored before the net
+#: is declared (practically) unbounded.  The largest graph in the paper has
+#: a few hundred states; the cap is generous.
+DEFAULT_MARKING_LIMIT = 200_000
+
+#: Default per-place token bound.  STGs are expected to be 1-safe, but the
+#: checker tolerates any finite bound so the safety *check* itself can run.
+DEFAULT_TOKEN_BOUND = 8
+
+
+class ReachabilityGraph:
+    """The reachable markings of a net and the firings between them.
+
+    Attributes
+    ----------
+    initial:
+        The initial marking.
+    markings:
+        List of reachable markings in BFS discovery order.
+    edges:
+        List of ``(marking, transition, marking')`` triples.
+    """
+
+    def __init__(self, initial, markings, edges):
+        self.initial = initial
+        self.markings = markings
+        self.edges = edges
+        self._successors = {m: [] for m in markings}
+        self._predecessors = {m: [] for m in markings}
+        for source, transition, target in edges:
+            self._successors[source].append((transition, target))
+            self._predecessors[target].append((transition, source))
+
+    def __len__(self):
+        return len(self.markings)
+
+    def __contains__(self, marking):
+        return marking in self._successors
+
+    def successors(self, marking):
+        """``(transition, marking')`` pairs firable from ``marking``."""
+        return list(self._successors[marking])
+
+    def predecessors(self, marking):
+        """``(transition, marking)`` pairs leading into ``marking``."""
+        return list(self._predecessors[marking])
+
+    def deadlocks(self):
+        """Markings with no enabled transition."""
+        return [m for m in self.markings if not self._successors[m]]
+
+    def fired_transitions(self):
+        """The set of transitions that fire somewhere in the graph."""
+        return {transition for _s, transition, _t in self.edges}
+
+
+def reachability_graph(
+    net,
+    marking_limit=DEFAULT_MARKING_LIMIT,
+    token_bound=DEFAULT_TOKEN_BOUND,
+):
+    """Breadth-first exploration of the reachable markings of ``net``.
+
+    Parameters
+    ----------
+    net:
+        The :class:`~repro.petrinet.net.PetriNet` to explore.
+    marking_limit:
+        Abort with :class:`UnboundedNetError` once more than this many
+        distinct markings have been discovered.
+    token_bound:
+        Abort with :class:`UnboundedNetError` as soon as any place carries
+        more than this many tokens.
+
+    Returns
+    -------
+    ReachabilityGraph
+    """
+    initial = net.initial_marking
+    _check_token_bound(initial, token_bound)
+    seen = {initial}
+    order = [initial]
+    edges = []
+    queue = deque([initial])
+    while queue:
+        marking = queue.popleft()
+        for transition in net.enabled(marking):
+            successor = net.fire(marking, transition)
+            _check_token_bound(successor, token_bound)
+            if successor not in seen:
+                if len(seen) >= marking_limit:
+                    raise UnboundedNetError(
+                        f"more than {marking_limit} reachable markings; "
+                        "net is unbounded or the limit is too small",
+                        markings_seen=len(seen),
+                    )
+                seen.add(successor)
+                order.append(successor)
+                queue.append(successor)
+            edges.append((marking, transition, successor))
+    return ReachabilityGraph(initial, order, edges)
+
+
+def _check_token_bound(marking, token_bound):
+    for place, count in marking.items():
+        if count > token_bound:
+            raise UnboundedNetError(
+                f"place {place!r} holds {count} tokens, exceeding the "
+                f"bound {token_bound}; net is not {token_bound}-bounded"
+            )

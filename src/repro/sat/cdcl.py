@@ -1,0 +1,285 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+The modular method's formulas are small, but proving their
+unsatisfiability (the "add one more state signal" step) and navigating
+the heavily-structured satisfiable instances is exponential for the
+chronological branch-and-bound search in :mod:`repro.sat.solver`.  This
+module provides the standard modern remedy: two-watched-literal
+propagation, first-UIP clause learning with non-chronological backjumping,
+VSIDS-style activity ordering with phase saving, and geometric restarts.
+
+The ``Limits`` budget still applies -- ``max_backtracks`` counts
+*conflicts*, which keeps the paper's "SAT backtrack limit" abort semantics
+meaningful for both engines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sat.solver import LIMIT, SAT, UNSAT, Limits, SolveResult
+
+_ACTIVITY_DECAY = 0.95
+_RESCALE_LIMIT = 1e100
+_RESTART_FIRST = 100
+_RESTART_FACTOR = 1.5
+
+
+def solve_cdcl(cnf, limits=None):
+    """Decide satisfiability of ``cnf`` with clause learning."""
+    return _Cdcl(cnf, limits or Limits()).run()
+
+
+class _Cdcl:
+    def __init__(self, cnf, limits):
+        self.limits = limits
+        self.num_vars = cnf.num_vars
+        self.clauses = [list(c) for c in cnf.clauses]
+        self.value = [0] * (self.num_vars + 1)  # 0 / 1 / -1
+        self.level = [0] * (self.num_vars + 1)
+        self.reason = [None] * (self.num_vars + 1)  # clause index
+        self.trail = []
+        self.trail_lim = []  # trail length at each decision level
+        self.watches = {}
+        self.activity = [0.0] * (self.num_vars + 1)
+        self.bump = 1.0
+        self.saved_phase = [False] * (self.num_vars + 1)
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def _lit_value(self, literal):
+        value = self.value[abs(literal)]
+        if value == 0:
+            return 0
+        return value if literal > 0 else -value
+
+    def _current_level(self):
+        return len(self.trail_lim)
+
+    def _assign(self, literal, reason):
+        var = abs(literal)
+        self.value[var] = 1 if literal > 0 else -1
+        self.level[var] = self._current_level()
+        self.reason[var] = reason
+        self.saved_phase[var] = literal > 0
+        self.trail.append(literal)
+
+    def _watch(self, literal, index):
+        self.watches.setdefault(literal, []).append(index)
+
+    def _bump_var(self, var):
+        self.activity[var] += self.bump
+        if self.activity[var] > _RESCALE_LIMIT:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.bump *= 1e-100
+
+    # -- propagation ---------------------------------------------------------
+
+    def _propagate(self, head):
+        """Propagate from trail position ``head``; returns conflict clause
+        index or None."""
+        while head < len(self.trail):
+            literal = self.trail[head]
+            head += 1
+            falsified = -literal
+            watchers = self.watches.get(falsified, [])
+            i = 0
+            while i < len(watchers):
+                index = watchers[i]
+                clause = self.clauses[index]
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                other = clause[0]
+                if self._lit_value(other) == 1:
+                    i += 1
+                    continue
+                replacement = None
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) != -1:
+                        replacement = j
+                        break
+                if replacement is not None:
+                    clause[1], clause[replacement] = (
+                        clause[replacement], clause[1],
+                    )
+                    watchers[i] = watchers[-1]
+                    watchers.pop()
+                    self._watch(clause[1], index)
+                    continue
+                if self._lit_value(other) == -1:
+                    return index  # conflict
+                self._assign(other, index)
+                self.propagations += 1
+                i += 1
+        return None
+
+    # -- learning --------------------------------------------------------------
+
+    def _analyze(self, conflict_index):
+        """First-UIP analysis; returns (learned clause, backjump level)."""
+        learned = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0  # literals of the current level still to resolve
+        literal = None
+        index = conflict_index
+        position = len(self.trail) - 1
+        current = self._current_level()
+
+        while True:
+            for lit in self.clauses[index]:
+                if literal is not None and abs(lit) == abs(literal):
+                    continue  # the pivot variable being resolved away
+                var = abs(lit)
+                if seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self.level[var] == current:
+                    counter += 1
+                else:
+                    learned.append(lit)
+            # Find the next seen literal on the trail.
+            while not seen[abs(self.trail[position])]:
+                position -= 1
+            literal = -self.trail[position]
+            var = abs(literal)
+            seen[var] = False
+            counter -= 1
+            position -= 1
+            if counter == 0:
+                learned.append(literal)
+                break
+            index = self.reason[var]
+
+        # Backjump to the second-highest level in the learned clause.
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted(
+            (self.level[abs(lit)] for lit in learned[:-1]), reverse=True
+        )
+        return learned, levels[0]
+
+    def _backjump(self, target_level):
+        limit = self.trail_lim[target_level]
+        for literal in self.trail[limit:]:
+            var = abs(literal)
+            self.value[var] = 0
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+
+    def _attach_learned(self, learned):
+        """Store a learned clause, watch it correctly, assert its literal.
+
+        The asserting literal (placed last by ``_analyze``) moves to slot
+        0; the deepest remaining literal moves to slot 1 so the watch
+        invariant ("watched literals live in slots 0 and 1") holds.
+        Returns the trail position to resume propagation from.
+        """
+        learned = list(learned)
+        learned[0], learned[-1] = learned[-1], learned[0]
+        if len(learned) > 2:
+            deepest = max(
+                range(1, len(learned)),
+                key=lambda i: self.level[abs(learned[i])],
+            )
+            learned[1], learned[deepest] = learned[deepest], learned[1]
+        index = len(self.clauses)
+        self.clauses.append(learned)
+        if len(learned) > 1:
+            self._watch(learned[0], index)
+            self._watch(learned[1], index)
+            self._assign(learned[0], index)
+        else:
+            self._assign(learned[0], None)
+        return len(self.trail) - 1
+
+    def _pick_branch(self):
+        best = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.value[var] == 0 and self.activity[var] > best_activity:
+                best = var
+                best_activity = self.activity[var]
+        if best is None:
+            return None
+        return best if self.saved_phase[best] else -best
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self):
+        started = time.perf_counter()
+
+        def result(status):
+            assignment = None
+            if status == SAT:
+                assignment = {
+                    v: self.value[v] == 1
+                    for v in range(1, self.num_vars + 1)
+                }
+            return SolveResult(
+                status, assignment, self.decisions, self.propagations,
+                self.conflicts, time.perf_counter() - started,
+            )
+
+        # Install watches; queue unit clauses.
+        for index, clause in enumerate(self.clauses):
+            if not clause:
+                return result(UNSAT)
+            if len(clause) == 1:
+                value = self._lit_value(clause[0])
+                if value == -1:
+                    return result(UNSAT)
+                if value == 0:
+                    self._assign(clause[0], None)
+            else:
+                self._watch(clause[0], index)
+                self._watch(clause[1], index)
+
+        if self._propagate(0) is not None:
+            return result(UNSAT)
+        restart_budget = _RESTART_FIRST
+        conflicts_since_restart = 0
+
+        while True:
+            branch = self._pick_branch()
+            if branch is None:
+                return result(SAT)
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._assign(branch, None)
+            head = len(self.trail) - 1
+
+            while True:
+                conflict = self._propagate(head)
+                if conflict is None:
+                    break
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if (
+                    self.limits.max_backtracks is not None
+                    and self.conflicts >= self.limits.max_backtracks
+                ):
+                    return result(LIMIT)
+                if (
+                    self.limits.max_seconds is not None
+                    and time.perf_counter() - started
+                    > self.limits.max_seconds
+                ):
+                    return result(LIMIT)
+                if self._current_level() == 0:
+                    return result(UNSAT)
+                learned, target = self._analyze(conflict)
+                self._backjump(target)
+                head = self._attach_learned(learned)
+                self.bump /= _ACTIVITY_DECAY
+                if conflicts_since_restart >= restart_budget:
+                    conflicts_since_restart = 0
+                    restart_budget = int(restart_budget * _RESTART_FACTOR)
+                    if self._current_level() > 0:
+                        self._backjump(0)
+                    break

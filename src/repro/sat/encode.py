@@ -1,0 +1,33 @@
+"""Small clause-level encoding helpers shared by the CSC encodings."""
+
+from __future__ import annotations
+
+
+def add_implies(cnf, antecedents, consequent):
+    """Add ``(a1 & a2 & ...) -> c`` as one clause."""
+    cnf.add_clause([-a for a in antecedents] + [consequent])
+
+
+def add_equal(cnf, a, b, condition=()):
+    """Add ``a <-> b``, optionally guarded: ``(cond1 & ...) -> (a <-> b)``."""
+    guard = [-c for c in condition]
+    cnf.add_clause(guard + [-a, b])
+    cnf.add_clause(guard + [a, -b])
+
+
+def add_xor_var(cnf, a, b, name=None):
+    """Allocate ``d`` with ``d <-> (a xor b)`` and return it."""
+    d = cnf.new_var(name)
+    cnf.add_clause([-d, a, b])
+    cnf.add_clause([-d, -a, -b])
+    cnf.add_clause([d, -a, b])
+    cnf.add_clause([d, a, -b])
+    return d
+
+
+def add_at_most_one(cnf, literals):
+    """Pairwise at-most-one over ``literals``."""
+    literals = list(literals)
+    for i, a in enumerate(literals):
+        for b in literals[i + 1:]:
+            cnf.add_clause([-a, -b])

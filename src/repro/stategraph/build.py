@@ -1,0 +1,152 @@
+"""Building state graphs from signal transition graphs.
+
+The construction follows Section 2 of the paper: exhaustively generate the
+reachable markings of the STG's Petri net, then assign every marking the
+binary code of its signal values.  Initial signal values are not given by
+the ``.g`` format; they are *inferred* by propagating the consistency
+constraints (``s+`` fires only from value 0, ``s-`` only from value 1,
+other transitions leave the value unchanged) over the whole reachability
+graph.  An STG admitting no such assignment is inconsistent and cannot be
+synthesised.
+"""
+
+from __future__ import annotations
+
+from repro.petrinet.reachability import reachability_graph
+from repro.stg.errors import StgValidationError
+from repro.stategraph.graph import EPSILON, StateGraph
+from repro.stategraph.quotient import quotient
+
+
+class InconsistentStgError(StgValidationError):
+    """The STG's rises and falls admit no consistent state assignment."""
+
+
+def infer_signal_values(stg, graph):
+    """Infer every signal's binary value in every reachable marking.
+
+    Parameters
+    ----------
+    stg:
+        The signal transition graph.
+    graph:
+        Its :class:`~repro.petrinet.reachability.ReachabilityGraph`.
+
+    Returns
+    -------
+    dict
+        ``values[marking][signal] -> 0 or 1``.
+
+    Raises
+    ------
+    InconsistentStgError
+        If some signal is forced to both 0 and 1 in the same marking, or
+        some signal's value is not determined anywhere (a signal with no
+        fired transition).
+    """
+    values = {marking: {} for marking in graph.markings}
+
+    for signal in stg.signals:
+        # Seed values from the edges that move this signal.
+        pending = []
+        for source, transition, target in graph.edges:
+            label = stg.label(transition)
+            if label.signal != signal:
+                continue
+            before, after = (0, 1) if label.is_rise else (1, 0)
+            for marking, value in ((source, before), (target, after)):
+                known = values[marking].get(signal)
+                if known is None:
+                    values[marking][signal] = value
+                    pending.append(marking)
+                elif known != value:
+                    raise InconsistentStgError(
+                        f"signal {signal!r} forced to both values in "
+                        f"{marking!r}; transitions do not alternate"
+                    )
+        if not pending:
+            raise InconsistentStgError(
+                f"signal {signal!r} never fires; its value is undetermined"
+            )
+        # Propagate across edges that do not move this signal.
+        while pending:
+            marking = pending.pop()
+            value = values[marking][signal]
+            neighbours = [
+                (t, other) for t, other in graph.successors(marking)
+            ] + [(t, other) for t, other in graph.predecessors(marking)]
+            for transition, other in neighbours:
+                if stg.label(transition).signal == signal:
+                    continue
+                known = values[other].get(signal)
+                if known is None:
+                    values[other][signal] = value
+                    pending.append(other)
+                elif known != value:
+                    raise InconsistentStgError(
+                        f"signal {signal!r} has contradictory values at "
+                        f"{other!r}"
+                    )
+
+    for marking in graph.markings:
+        missing = [s for s in stg.signals if s not in values[marking]]
+        if missing:
+            raise InconsistentStgError(
+                f"could not determine values of {missing} at {marking!r}"
+            )
+    return values
+
+
+def build_state_graph(stg, contract_dummies=True, **explore_kwargs):
+    """Derive the complete state graph Σ from an STG.
+
+    Parameters
+    ----------
+    stg:
+        The signal transition graph.
+    contract_dummies:
+        When true (default), states connected by dummy (ε) transitions are
+        merged away, as in the classical ε-free automaton conversion the
+        paper cites; the returned graph then has no ε edges.
+    explore_kwargs:
+        Passed to :func:`repro.petrinet.reachability.reachability_graph`
+        (``marking_limit``, ``token_bound``).
+
+    Returns
+    -------
+    StateGraph
+    """
+    reach = reachability_graph(stg.net, **explore_kwargs)
+    for marking in reach.markings:
+        if not marking.is_safe():
+            raise StgValidationError(
+                f"STG is not 1-safe: reachable marking {marking!r}"
+            )
+    values = infer_signal_values(stg, reach)
+
+    signals = tuple(stg.signals)
+    index = {marking: i for i, marking in enumerate(reach.markings)}
+    codes = [
+        tuple(values[marking][s] for s in signals)
+        for marking in reach.markings
+    ]
+    edges = []
+    for source, transition, target in reach.edges:
+        label = stg.label(transition)
+        if label.is_dummy:
+            edge_label = EPSILON
+        else:
+            edge_label = (label.signal, label.direction)
+        edges.append((index[source], edge_label, index[target]))
+
+    graph = StateGraph(
+        signals,
+        codes,
+        edges,
+        non_inputs=stg.non_inputs,
+        initial=index[reach.initial],
+        markings=reach.markings,
+    )
+    if contract_dummies and any(label is EPSILON for _s, label, _t in edges):
+        graph = quotient(graph, hidden_signals=()).graph
+    return graph

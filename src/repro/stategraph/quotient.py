@@ -1,0 +1,177 @@
+"""ε-merging quotients of state graphs.
+
+The paper's modular state graph Σ_oi is obtained from the complete state
+graph Σ by labelling the transitions of unneeded signals as silent ε
+transitions and merging the states they connect (Section 3.3) -- the
+classical conversion of an automaton with ε transitions into one without.
+This module implements that merge as a quotient: the result keeps a *cover
+map* from every state of Σ to the macro state that covers it, which is
+exactly the ``cover()`` relation used by the propagation step (Section
+3.4).
+"""
+
+from __future__ import annotations
+
+from repro.stategraph.graph import EPSILON, StateGraph
+
+
+class QuotientGraph:
+    """A state graph quotient together with its cover map.
+
+    Attributes
+    ----------
+    base:
+        The original :class:`StateGraph` (typically the complete graph Σ).
+    graph:
+        The merged :class:`StateGraph` (the modular graph Σ_oi).
+    cover:
+        ``cover[base_state] -> macro_state`` (the paper's cover relation).
+    blocks:
+        ``blocks[macro_state]`` is the sorted tuple of base states merged
+        into that macro state.
+    hidden:
+        The signals whose transitions were ε-labelled and merged away.
+    """
+
+    def __init__(self, base, graph, cover, blocks, hidden):
+        self.base = base
+        self.graph = graph
+        self.cover = cover
+        self.blocks = blocks
+        self.hidden = frozenset(hidden)
+
+    # Analysis interface shared with StateGraph ----------------------------
+
+    @property
+    def signals(self):
+        return self.graph.signals
+
+    @property
+    def non_inputs(self):
+        return self.graph.non_inputs
+
+    @property
+    def num_states(self):
+        return self.graph.num_states
+
+    @property
+    def edges(self):
+        return self.graph.edges
+
+    def states(self):
+        return self.graph.states()
+
+    def excitation(self, macro_state):
+        return self.graph.excitation(macro_state)
+
+    def code_of(self, macro_state):
+        return self.graph.code_of(macro_state)
+
+    def implied_values(self, macro_state, signal):
+        """Implied values of ``signal`` across the covered base states.
+
+        A singleton means the merged state still determines the signal's
+        logic function; two values mean the merge lost that information
+        (an *intrinsic* conflict -- the situation the greedy input-set
+        derivation must avoid creating).
+        """
+        return frozenset(
+            self.base.implied_value(state, signal)
+            for state in self.blocks[macro_state]
+        )
+
+    def is_ambiguous(self, macro_state, signal):
+        return len(self.implied_values(macro_state, signal)) > 1
+
+    def __repr__(self):
+        return (
+            f"QuotientGraph(base={self.base.num_states} states -> "
+            f"{self.graph.num_states} macro states, hidden={sorted(self.hidden)})"
+        )
+
+
+def quotient(base, hidden_signals):
+    """Merge away ε edges and all transitions of ``hidden_signals``.
+
+    Parameters
+    ----------
+    base:
+        The complete state graph Σ.
+    hidden_signals:
+        Signals whose transitions become ε and are merged.  May be empty,
+        in which case only pre-existing ε edges are contracted.
+
+    Returns
+    -------
+    QuotientGraph
+    """
+    hidden = frozenset(hidden_signals)
+    unknown = hidden - set(base.signals)
+    if unknown:
+        raise ValueError(f"cannot hide unknown signals: {sorted(unknown)}")
+
+    parent = list(range(base.num_states))
+
+    def find(x):
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for source, label, target in base.edges:
+        if label is EPSILON or label[0] in hidden:
+            union(source, target)
+
+    # Number the blocks in order of their smallest member, so macro state
+    # ids are stable across runs.
+    roots = {}
+    for state in base.states():
+        roots.setdefault(find(state), []).append(state)
+    blocks = [tuple(sorted(members)) for members in roots.values()]
+    blocks.sort(key=lambda members: members[0])
+    cover = [0] * base.num_states
+    for macro, members in enumerate(blocks):
+        for state in members:
+            cover[state] = macro
+
+    kept = [s for s in base.signals if s not in hidden]
+    kept_idx = [base.signal_index(s) for s in kept]
+
+    codes = []
+    for members in blocks:
+        projected = {
+            tuple(base.code_of(m)[i] for i in kept_idx) for m in members
+        }
+        if len(projected) != 1:
+            raise AssertionError(
+                "merged states disagree on kept signals; quotient invariant "
+                "violated"
+            )
+        codes.append(projected.pop())
+
+    macro_edges = set()
+    for source, label, target in base.edges:
+        if label is EPSILON or label[0] in hidden:
+            continue
+        macro_edges.add((cover[source], label, cover[target]))
+
+    graph = StateGraph(
+        kept,
+        codes,
+        sorted(macro_edges, key=_edge_sort_key),
+        non_inputs=base.non_inputs - hidden,
+        initial=cover[base.initial],
+    )
+    return QuotientGraph(base, graph, cover, blocks, hidden)
+
+
+def _edge_sort_key(edge):
+    source, label, target = edge
+    return (source, label if label is not EPSILON else ("", ""), target)

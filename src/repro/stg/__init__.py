@@ -1,0 +1,45 @@
+"""Signal transition graphs (STGs).
+
+An STG interprets Petri net transitions as rising (``a+``) and falling
+(``a-``) edges of circuit signals (paper, Section 2).  This package holds
+the STG model itself, the astg ``.g`` file format used by the classic
+benchmark suites (SIS, petrify), validation of the properties synthesis
+relies on, and behaviour-preserving transformations such as signal hiding.
+"""
+
+from repro.stg.errors import (
+    GFormatError,
+    StgError,
+    StgValidationError,
+)
+from repro.stg.model import (
+    DUMMY,
+    FALL,
+    RISE,
+    SignalTransitionGraph,
+    SignalType,
+    TransitionLabel,
+)
+from repro.stg.parse import parse_g, parse_g_file
+from repro.stg.write import write_g
+from repro.stg.validate import validate_stg
+from repro.stg.transform import hide_signals, mirror_signals, rename_signals
+
+__all__ = [
+    "DUMMY",
+    "FALL",
+    "GFormatError",
+    "RISE",
+    "SignalTransitionGraph",
+    "SignalType",
+    "StgError",
+    "StgValidationError",
+    "TransitionLabel",
+    "hide_signals",
+    "mirror_signals",
+    "parse_g",
+    "parse_g_file",
+    "rename_signals",
+    "validate_stg",
+    "write_g",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the STG layer."""
+
+from repro.petrinet.errors import PetriNetError
+
+
+class StgError(PetriNetError):
+    """Base class for STG-level errors."""
+
+
+class GFormatError(StgError):
+    """A ``.g`` file could not be parsed.
+
+    Carries the 1-based line number when known.
+    """
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class StgValidationError(StgError):
+    """The STG violates a property synthesis depends on.
+
+    Examples: a signal whose rising/falling transitions do not alternate,
+    an unbounded underlying net, a transition labelled with an undeclared
+    signal.
+    """

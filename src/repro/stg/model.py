@@ -1,0 +1,279 @@
+"""The signal transition graph model.
+
+An STG is a labelled Petri net: each net transition carries a
+:class:`TransitionLabel` naming a signal and a direction (rise ``+`` /
+fall ``-``), or is a *dummy* (the silent ε transition used by signal
+hiding and by some benchmark specifications).
+
+Signals are partitioned into inputs (set ``S_I`` of the paper) and
+non-inputs (``S_NI``: outputs and internal signals).  Only non-input
+signals get logic functions; inputs are driven by the environment.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.petrinet.net import PetriNet
+from repro.stg.errors import StgError, StgValidationError
+
+RISE = "+"
+FALL = "-"
+#: Direction marker for dummy (silent / ε) transitions.
+DUMMY = "~"
+
+_DIRECTIONS = (RISE, FALL)
+
+
+class SignalType(Enum):
+    """Role of a signal in the interface the STG specifies."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+    @property
+    def is_input(self):
+        return self is SignalType.INPUT
+
+
+class TransitionLabel:
+    """An interpreted transition: ``a+``, ``b-/2`` or a dummy ``eps``.
+
+    Attributes
+    ----------
+    signal:
+        Signal name, or ``None`` for a dummy transition.
+    direction:
+        ``"+"``, ``"-"``, or ``"~"`` for dummies.
+    instance:
+        1-based instance index, distinguishing multiple transitions of the
+        same signal edge (``a+/1`` vs ``a+/2``).
+    """
+
+    __slots__ = ("signal", "direction", "instance")
+
+    def __init__(self, signal, direction, instance=1):
+        if direction not in (_DIRECTIONS + (DUMMY,)):
+            raise StgError(f"bad transition direction {direction!r}")
+        if (signal is None) != (direction == DUMMY):
+            raise StgError(
+                "dummy labels have no signal; signal labels need a direction"
+            )
+        if instance < 1:
+            raise StgError(f"instance index must be >= 1, got {instance}")
+        self.signal = signal
+        self.direction = direction
+        self.instance = instance
+
+    @property
+    def is_dummy(self):
+        return self.signal is None
+
+    @property
+    def is_rise(self):
+        return self.direction == RISE
+
+    @property
+    def is_fall(self):
+        return self.direction == FALL
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``a+``, ``b-/3``; a bare name parses as a dummy label."""
+        name = text
+        instance = 1
+        if "/" in name:
+            name, _slash, index = name.partition("/")
+            try:
+                instance = int(index)
+            except ValueError:
+                raise StgError(f"bad instance index in {text!r}") from None
+        if name.endswith(RISE):
+            return cls(name[:-1], RISE, instance)
+        if name.endswith(FALL):
+            return cls(name[:-1], FALL, instance)
+        return cls(None, DUMMY, 1)
+
+    def __str__(self):
+        if self.is_dummy:
+            return "~"
+        base = f"{self.signal}{self.direction}"
+        if self.instance != 1:
+            base += f"/{self.instance}"
+        return base
+
+    def __repr__(self):
+        return f"TransitionLabel({str(self)!r})"
+
+    def __eq__(self, other):
+        if isinstance(other, TransitionLabel):
+            return (
+                self.signal == other.signal
+                and self.direction == other.direction
+                and self.instance == other.instance
+            )
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.signal, self.direction, self.instance))
+
+
+class SignalTransitionGraph:
+    """A labelled Petri net specifying an asynchronous interface circuit.
+
+    Parameters
+    ----------
+    net:
+        The underlying :class:`~repro.petrinet.net.PetriNet`.
+    signal_types:
+        Mapping from signal name to :class:`SignalType`.
+    labels:
+        Mapping from net transition name to :class:`TransitionLabel`.
+        Every net transition must be labelled; labels must reference
+        declared signals.
+    name:
+        Optional model name (the ``.model`` line of a ``.g`` file).
+    """
+
+    def __init__(self, net, signal_types, labels, name="stg"):
+        if not isinstance(net, PetriNet):
+            raise StgError("net must be a PetriNet")
+        self._net = net
+        self._types = dict(signal_types)
+        self._labels = dict(labels)
+        self.name = name
+
+        missing = net.transitions - set(self._labels)
+        if missing:
+            raise StgValidationError(
+                f"unlabelled net transitions: {sorted(missing)}"
+            )
+        extra = set(self._labels) - net.transitions
+        if extra:
+            raise StgValidationError(
+                f"labels for unknown transitions: {sorted(extra)}"
+            )
+        for transition, label in self._labels.items():
+            if label.is_dummy:
+                continue
+            if label.signal not in self._types:
+                raise StgValidationError(
+                    f"transition {transition!r} uses undeclared signal "
+                    f"{label.signal!r}"
+                )
+
+    # -- signal views ------------------------------------------------------
+
+    @property
+    def net(self):
+        return self._net
+
+    @property
+    def signals(self):
+        """All declared signal names, sorted (the set ``S``)."""
+        return sorted(self._types)
+
+    @property
+    def inputs(self):
+        """Input signal names, sorted (the set ``S_I``)."""
+        return sorted(
+            s for s, t in self._types.items() if t is SignalType.INPUT
+        )
+
+    @property
+    def outputs(self):
+        """Output signal names, sorted."""
+        return sorted(
+            s for s, t in self._types.items() if t is SignalType.OUTPUT
+        )
+
+    @property
+    def internals(self):
+        """Internal signal names, sorted."""
+        return sorted(
+            s for s, t in self._types.items() if t is SignalType.INTERNAL
+        )
+
+    @property
+    def non_inputs(self):
+        """Output and internal signal names, sorted (the set ``S_NI``)."""
+        return sorted(
+            s for s, t in self._types.items() if t is not SignalType.INPUT
+        )
+
+    def signal_type(self, signal):
+        if signal not in self._types:
+            raise StgError(f"unknown signal {signal!r}")
+        return self._types[signal]
+
+    # -- label views ---------------------------------------------------------
+
+    def label(self, transition):
+        """The :class:`TransitionLabel` of a net transition."""
+        if transition not in self._labels:
+            raise StgError(f"unknown transition {transition!r}")
+        return self._labels[transition]
+
+    def labels(self):
+        """Copy of the full transition->label mapping."""
+        return dict(self._labels)
+
+    def transitions_of(self, signal, direction=None):
+        """Net transitions of ``signal`` (optionally one direction), sorted."""
+        return sorted(
+            t
+            for t, lab in self._labels.items()
+            if lab.signal == signal
+            and (direction is None or lab.direction == direction)
+        )
+
+    def dummy_transitions(self):
+        """Net transitions with dummy labels, sorted."""
+        return sorted(t for t, lab in self._labels.items() if lab.is_dummy)
+
+    # -- causal structure -----------------------------------------------------
+
+    def triggers(self, signal):
+        """Signals whose transitions directly cause transitions of ``signal``.
+
+        A signal ``s`` is a *trigger* of ``o`` when the STG contains a
+        place from some ``s*`` transition to some ``o*`` transition.  This
+        is the paper's "direct causal relationship" defining the immediate
+        input set (Section 3.2).
+        """
+        result = set()
+        for transition in self.transitions_of(signal):
+            for place in self._net.preset(transition):
+                for pred in self._net.place_preset(place):
+                    pred_label = self._labels[pred]
+                    if not pred_label.is_dummy:
+                        result.add(pred_label.signal)
+        result.discard(signal)
+        return sorted(result)
+
+    def immediate_input_set(self, output):
+        """The immediate input set ``I`` of an output signal (Section 3.2)."""
+        if self.signal_type(output).is_input:
+            raise StgError(
+                f"{output!r} is an input signal; it has no input set"
+            )
+        return self.triggers(output)
+
+    # -- derivation --------------------------------------------------------------
+
+    def relabelled(self, labels, signal_types=None, name=None):
+        """Copy of this STG with replacement labels (and optionally types)."""
+        return SignalTransitionGraph(
+            self._net,
+            self._types if signal_types is None else signal_types,
+            labels,
+            self.name if name is None else name,
+        )
+
+    def __repr__(self):
+        return (
+            f"SignalTransitionGraph({self.name!r}, "
+            f"signals={len(self._types)}, "
+            f"transitions={len(self._labels)})"
+        )

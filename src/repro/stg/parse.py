@@ -1,0 +1,246 @@
+"""Parser for the astg ``.g`` signal transition graph format.
+
+This is the text format the classic asynchronous benchmark suites (SIS,
+petrify, workcraft) use::
+
+    .model nak-pa
+    .inputs req ack
+    .outputs done
+    .graph
+    req+ done+
+    done+ ack+
+    p0 req+
+    ack+ p0
+    .marking { <ack+,p0> }
+    .end
+
+``.graph`` lines list a source node followed by its successor nodes.  A
+token is a *transition* when it parses as ``signal+``/``signal-`` (with an
+optional ``/k`` instance suffix) over a declared signal, or when it names a
+declared ``.dummy``; every other token is an explicit *place*.  An arc
+between two transitions goes through an implicit place, named
+``<source,target>`` as in the original tools, and the ``.marking`` section
+may mark implicit places with that bracket syntax.
+"""
+
+from __future__ import annotations
+
+from repro.petrinet.net import PetriNet
+from repro.petrinet.builder import implicit_place_name
+from repro.stg.errors import GFormatError
+from repro.stg.model import (
+    DUMMY,
+    SignalTransitionGraph,
+    SignalType,
+    TransitionLabel,
+)
+
+_TYPE_DIRECTIVES = {
+    ".inputs": SignalType.INPUT,
+    ".outputs": SignalType.OUTPUT,
+    ".internal": SignalType.INTERNAL,
+}
+
+_IGNORED_DIRECTIVES = (".capacity", ".slowenv", ".coords")
+
+
+def parse_g_file(path):
+    """Parse a ``.g`` file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_g(handle.read(), name_hint=str(path))
+
+
+def parse_g(text, name_hint="stg"):
+    """Parse ``.g`` source text into a :class:`SignalTransitionGraph`."""
+    state = _ParserState(name_hint)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        state.feed(line, lineno)
+    return state.finish()
+
+
+class _ParserState:
+    def __init__(self, name_hint):
+        self.name = name_hint
+        self.signal_types = {}
+        self.dummies = set()
+        self.graph_lines = []
+        self.marking_tokens = []
+        self.in_graph = False
+        self.saw_graph = False
+        self.saw_end = False
+
+    def feed(self, line, lineno):
+        if self.saw_end:
+            raise GFormatError("content after .end", lineno)
+        if line.startswith("."):
+            self._directive(line, lineno)
+        elif self.in_graph:
+            self.graph_lines.append((line.split(), lineno))
+        else:
+            raise GFormatError(f"unexpected line {line!r}", lineno)
+
+    def _directive(self, line, lineno):
+        parts = line.split()
+        keyword = parts[0]
+        if keyword == ".model" or keyword == ".name":
+            if len(parts) != 2:
+                raise GFormatError(".model needs exactly one name", lineno)
+            self.name = parts[1]
+        elif keyword in _TYPE_DIRECTIVES:
+            for signal in parts[1:]:
+                if signal in self.signal_types:
+                    raise GFormatError(
+                        f"signal {signal!r} declared twice", lineno
+                    )
+                self.signal_types[signal] = _TYPE_DIRECTIVES[keyword]
+        elif keyword == ".dummy":
+            self.dummies.update(parts[1:])
+        elif keyword == ".graph":
+            if self.saw_graph:
+                raise GFormatError("duplicate .graph section", lineno)
+            self.in_graph = True
+            self.saw_graph = True
+        elif keyword == ".marking":
+            self.in_graph = False
+            body = line[len(".marking"):].strip()
+            if not (body.startswith("{") and body.endswith("}")):
+                raise GFormatError(".marking body must be { ... }", lineno)
+            self.marking_tokens = _split_marking(body[1:-1], lineno)
+        elif keyword == ".end":
+            self.in_graph = False
+            self.saw_end = True
+        elif keyword in _IGNORED_DIRECTIVES:
+            self.in_graph = False
+        else:
+            raise GFormatError(f"unknown directive {keyword!r}", lineno)
+
+    # -- assembly ---------------------------------------------------------
+
+    def _is_transition(self, token):
+        base = token.partition("/")[0]
+        if token in self.dummies or base in self.dummies:
+            return True
+        if base.endswith(("+", "-")):
+            return base[:-1] in self.signal_types
+        return False
+
+    def finish(self):
+        if not self.saw_graph:
+            raise GFormatError("missing .graph section")
+        if not self.saw_end:
+            raise GFormatError("missing .end")
+
+        transitions = set()
+        places = set()
+        arc_pairs = []
+        for tokens, lineno in self.graph_lines:
+            if len(tokens) < 2:
+                raise GFormatError(
+                    "graph line needs a source and at least one target",
+                    lineno,
+                )
+            for token in tokens:
+                if self._is_transition(token):
+                    transitions.add(token)
+                else:
+                    places.add(token)
+            source = tokens[0]
+            for target in tokens[1:]:
+                arc_pairs.append((source, target, lineno))
+
+        collisions = transitions & places
+        if collisions:
+            raise GFormatError(
+                f"tokens used as both place and transition: "
+                f"{sorted(collisions)}"
+            )
+
+        arcs = []
+        for source, target, lineno in arc_pairs:
+            src_is_t = source in transitions
+            tgt_is_t = target in transitions
+            if src_is_t and tgt_is_t:
+                middle = implicit_place_name(source, target)
+                if middle in places:
+                    raise GFormatError(
+                        f"duplicate arc {source} -> {target}", lineno
+                    )
+                places.add(middle)
+                arcs.append((source, middle))
+                arcs.append((middle, target))
+            else:
+                arcs.append((source, target))
+
+        marking = {}
+        for token, lineno in self.marking_tokens:
+            place, count = _marking_entry(token, lineno)
+            if place not in places:
+                raise GFormatError(
+                    f"marking references unknown place {place!r}", lineno
+                )
+            marking[place] = marking.get(place, 0) + count
+
+        net = PetriNet(places, transitions, arcs, marking)
+        labels = {}
+        for transition in transitions:
+            base = transition.partition("/")[0]
+            if transition in self.dummies or base in self.dummies:
+                labels[transition] = TransitionLabel(None, DUMMY, 1)
+            else:
+                labels[transition] = TransitionLabel.parse(transition)
+        return SignalTransitionGraph(
+            net, self.signal_types, labels, name=self.name
+        )
+
+
+def _split_marking(body, lineno):
+    """Split a marking body into tokens, keeping ``<a,b>`` entries whole."""
+    tokens = []
+    current = []
+    depth = 0
+    for char in body:
+        if char == "<":
+            depth += 1
+        elif char == ">":
+            depth -= 1
+            if depth < 0:
+                raise GFormatError("unbalanced '>' in .marking", lineno)
+        if char.isspace() and depth == 0:
+            if current:
+                tokens.append(("".join(current), lineno))
+                current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise GFormatError("unbalanced '<' in .marking", lineno)
+    if current:
+        tokens.append(("".join(current), lineno))
+    return tokens
+
+
+def _marking_entry(token, lineno):
+    """Parse one marking token into ``(place_name, count)``.
+
+    Supports ``p``, ``p=2``, and ``<a+,b->`` implicit-place syntax.
+    """
+    count = 1
+    if "=" in token and not token.startswith("<"):
+        token, _eq, count_text = token.partition("=")
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise GFormatError(
+                f"bad token count in marking entry {token!r}", lineno
+            ) from None
+    if token.startswith("<") and token.endswith(">"):
+        inner = token[1:-1]
+        source, comma, target = inner.partition(",")
+        if not comma:
+            raise GFormatError(
+                f"bad implicit place {token!r} in marking", lineno
+            )
+        return implicit_place_name(source, target), count
+    return token, count

@@ -1,0 +1,90 @@
+"""Behaviour-preserving STG transformations.
+
+The modular partitioning method works almost entirely at the state graph
+level, but two STG-level operations are still needed: *hiding* signals
+(relabelling their transitions as silent ε / dummy transitions -- the
+paper's "labeling all the transitions of signal s_i as ε transitions"),
+and renaming.  ``mirror_signals`` swaps the input/output role of signals,
+which is handy for building environment models in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.stg.errors import StgError
+from repro.stg.model import DUMMY, SignalTransitionGraph, SignalType, TransitionLabel
+
+
+def hide_signals(stg, signals, drop_declarations=True):
+    """Relabel every transition of the given signals as a dummy (ε).
+
+    Parameters
+    ----------
+    stg:
+        The source STG (not modified).
+    signals:
+        Iterable of signal names to hide.
+    drop_declarations:
+        When true (default), the hidden signals are also removed from the
+        signal declarations, so they no longer contribute state code bits.
+
+    Returns
+    -------
+    SignalTransitionGraph
+    """
+    hidden = set(signals)
+    unknown = hidden - set(stg.signals)
+    if unknown:
+        raise StgError(f"cannot hide undeclared signals: {sorted(unknown)}")
+
+    labels = {}
+    for transition, label in stg.labels().items():
+        if not label.is_dummy and label.signal in hidden:
+            labels[transition] = TransitionLabel(None, DUMMY, 1)
+        else:
+            labels[transition] = label
+
+    if drop_declarations:
+        types = {
+            s: t
+            for s, t in ((s, stg.signal_type(s)) for s in stg.signals)
+            if s not in hidden
+        }
+    else:
+        types = {s: stg.signal_type(s) for s in stg.signals}
+    return stg.relabelled(labels, signal_types=types)
+
+
+def rename_signals(stg, mapping):
+    """Rename signals through ``mapping`` (must be injective)."""
+    new_names = {s: mapping.get(s, s) for s in stg.signals}
+    if len(set(new_names.values())) != len(new_names):
+        raise StgError("signal renaming is not injective")
+    types = {new_names[s]: stg.signal_type(s) for s in stg.signals}
+    labels = {}
+    for transition, label in stg.labels().items():
+        if label.is_dummy:
+            labels[transition] = label
+        else:
+            labels[transition] = TransitionLabel(
+                new_names[label.signal], label.direction, label.instance
+            )
+    return stg.relabelled(labels, signal_types=types)
+
+
+def mirror_signals(stg, signals=None):
+    """Swap input and output roles (internal signals are left alone).
+
+    With no ``signals`` argument, mirrors every input and output: the
+    result specifies the *environment* of the original circuit.
+    """
+    chosen = set(stg.signals if signals is None else signals)
+    types = {}
+    for signal in stg.signals:
+        current = stg.signal_type(signal)
+        if signal in chosen and current is SignalType.INPUT:
+            types[signal] = SignalType.OUTPUT
+        elif signal in chosen and current is SignalType.OUTPUT:
+            types[signal] = SignalType.INPUT
+        else:
+            types[signal] = current
+    return stg.relabelled(stg.labels(), signal_types=types)

@@ -1,0 +1,67 @@
+"""Writer for the astg ``.g`` format.
+
+``write_g(parse_g(text))`` round-trips to an equivalent STG: implicit
+places (those named ``<source,target>`` with a single fanin and fanout)
+are written back as direct transition-to-transition arcs, explicit places
+keep their names.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IMPLICIT = re.compile(r"^<.*,.*>$")
+
+
+def _is_implicit(net, place):
+    return (
+        _IMPLICIT.match(place)
+        and len(net.place_preset(place)) == 1
+        and len(net.place_postset(place)) == 1
+    )
+
+
+def write_g(stg):
+    """Serialise a :class:`~repro.stg.model.SignalTransitionGraph`.
+
+    Returns the ``.g`` source as a string.
+    """
+    net = stg.net
+    lines = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(stg.outputs))
+    if stg.internals:
+        lines.append(".internal " + " ".join(stg.internals))
+    dummies = stg.dummy_transitions()
+    if dummies:
+        lines.append(".dummy " + " ".join(dummies))
+    lines.append(".graph")
+
+    for transition in sorted(net.transitions):
+        targets = []
+        for place in sorted(net.postset(transition)):
+            if _is_implicit(net, place):
+                (successor,) = net.place_postset(place)
+                targets.append(successor)
+            else:
+                targets.append(place)
+        if targets:
+            lines.append(" ".join([transition] + sorted(targets)))
+    for place in sorted(net.places):
+        if _is_implicit(net, place):
+            continue
+        successors = sorted(net.place_postset(place))
+        if successors:
+            lines.append(" ".join([place] + successors))
+
+    entries = []
+    for place, count in stg.net.initial_marking.items():
+        token = place  # implicit places are already "<source,target>"
+        if count != 1 and not _is_implicit(net, place):
+            token = f"{token}={count}"
+        entries.append(token)
+    lines.append(".marking { " + " ".join(sorted(entries)) + " }")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""Gate-level verification of synthesised circuits.
+
+The synthesis flow ends with two-level covers; this package closes the
+loop: it builds a gate-level circuit model from the covers
+(:mod:`repro.verify.circuit`) and model-checks it against the STG's
+state graph acting as the environment
+(:mod:`repro.verify.conformance`) -- the "circuit verification process"
+the paper argues partitioning simplifies (Section 3.1).
+
+The conformance check explores every interleaving of circuit and
+environment transitions under the speed-independent (unbounded gate
+delay) model and reports:
+
+* **unexpected outputs** -- the circuit excites an output transition the
+  specification does not allow;
+* **output hazards** -- an excited non-input signal loses its excitation
+  without firing (a glitch in any delay realisation);
+* **missing outputs** -- with all internal signals settled, the circuit
+  fails to excite an output the specification requires;
+* **deadlocks** -- the closed loop gets stuck although the
+  specification is live.
+"""
+
+from repro.verify.circuit import Circuit
+from repro.verify.conformance import (
+    ConformanceReport,
+    Violation,
+    check_conformance,
+    verify_synthesis,
+)
+
+__all__ = [
+    "Circuit",
+    "ConformanceReport",
+    "Violation",
+    "check_conformance",
+    "verify_synthesis",
+]

@@ -1,0 +1,43 @@
+"""Tests for the Lavagno/Moon-style sequential baseline."""
+
+from repro.baselines import lavagno_synthesis
+from repro.stategraph import build_state_graph, csc_conflicts
+from repro.stg import parse_g
+
+from tests.example_stgs import ALL, CSC_CONFLICT, HANDSHAKE
+
+
+class TestLavagno:
+    def test_all_examples_synthesise(self):
+        for text in ALL.values():
+            result = lavagno_synthesis(parse_g(text))
+            assert csc_conflicts(result.expanded) == []
+
+    def test_clean_graph_untouched(self):
+        result = lavagno_synthesis(parse_g(HANDSHAKE))
+        assert result.state_signals == 0
+        assert result.rounds == []
+
+    def test_conflict_resolved_sequentially(self):
+        result = lavagno_synthesis(parse_g(CSC_CONFLICT))
+        assert result.state_signals >= 1
+        assert result.assignment.names[0].startswith("lm")
+        assert result.rounds  # at least one insertion round
+
+    def test_counts_and_area(self):
+        result = lavagno_synthesis(parse_g(CSC_CONFLICT))
+        assert result.final_signals == result.initial_signals + result.state_signals
+        assert result.final_states >= result.initial_states
+        assert result.literals == sum(
+            c.literals for c in result.covers.values()
+        )
+
+    def test_accepts_prebuilt_graph(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        result = lavagno_synthesis(graph, minimize=False)
+        assert result.graph is graph
+        assert result.covers is None
+
+    def test_repr(self):
+        result = lavagno_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        assert "LavagnoResult" in repr(result)

@@ -1,0 +1,172 @@
+"""Unit and property tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager, BddOverflowError
+from repro.bdd.manager import FALSE, TRUE
+
+
+def evaluate(manager, node, assignment):
+    """Follow the decision path under ``assignment`` (dict var -> bool)."""
+    while node > TRUE:
+        var = manager.var_of(node)
+        low, high = manager.children(node)
+        node = high if assignment[var] else low
+    return node == TRUE
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BddManager(2)
+        assert m.num_nodes == 2
+
+    def test_literal(self):
+        m = BddManager(2)
+        x = m.literal(1)
+        assert evaluate(m, x, {1: True, 2: False})
+        assert not evaluate(m, x, {1: False, 2: False})
+        nx = m.literal(-1)
+        assert evaluate(m, nx, {1: False, 2: True})
+
+    def test_literal_range_checked(self):
+        with pytest.raises(ValueError):
+            BddManager(2).literal(3)
+
+    def test_reduction_shares_nodes(self):
+        m = BddManager(2)
+        a = m.literal(1)
+        b = m.literal(1)
+        assert a == b  # unique table hit
+
+    def test_make_collapses_equal_children(self):
+        m = BddManager(2)
+        assert m.make(1, TRUE, TRUE) == TRUE
+
+    def test_overflow(self):
+        m = BddManager(10, max_nodes=4)
+        with pytest.raises(BddOverflowError):
+            for v in range(1, 11):
+                m.literal(v)
+
+
+class TestOperations:
+    def test_and_or_negate(self):
+        m = BddManager(2)
+        x, y = m.literal(1), m.literal(2)
+        conj = m.apply_and(x, y)
+        disj = m.apply_or(x, y)
+        neg = m.negate(x)
+        for bits in itertools.product([False, True], repeat=2):
+            env = {1: bits[0], 2: bits[1]}
+            assert evaluate(m, conj, env) == (bits[0] and bits[1])
+            assert evaluate(m, disj, env) == (bits[0] or bits[1])
+            assert evaluate(m, neg, env) == (not bits[0])
+
+    def test_restrict(self):
+        m = BddManager(2)
+        conj = m.apply_and(m.literal(1), m.literal(2))
+        assert m.restrict(conj, 1, 1) == m.literal(2)
+        assert m.restrict(conj, 1, 0) == FALSE
+
+    def test_exists(self):
+        m = BddManager(2)
+        conj = m.apply_and(m.literal(1), m.literal(2))
+        assert m.exists(conj, 1) == m.literal(2)
+
+    def test_sat_count(self):
+        m = BddManager(3)
+        x = m.literal(1)
+        assert m.sat_count(x) == 4  # x free over vars 2,3
+        conj = m.apply_and(x, m.literal(2))
+        assert m.sat_count(conj) == 2
+
+    def test_any_model(self):
+        m = BddManager(2)
+        conj = m.apply_and(m.literal(1), m.literal(-2))
+        model = m.any_model(conj)
+        assert model == {1: True, 2: False}
+        assert m.any_model(FALSE) is None
+
+
+class TestMinCost:
+    def test_prefers_cheap_assignment(self):
+        m = BddManager(2)
+        disj = m.apply_or(m.literal(1), m.literal(2))
+        model = m.min_cost_model(disj, {1: 5, 2: 1})
+        assert model == {1: False, 2: True}
+
+    def test_zero_cost_vars_free(self):
+        m = BddManager(2)
+        disj = m.apply_or(m.literal(1), m.literal(2))
+        model = m.min_cost_model(disj, {2: 3})
+        assert model[1] is True and model[2] is False
+
+    def test_unsat_returns_none(self):
+        m = BddManager(1)
+        assert m.min_cost_model(FALSE, {}) is None
+
+
+@st.composite
+def boolean_formula(draw):
+    """Random clause lists over up to 5 variables."""
+    num_vars = draw(st.integers(min_value=1, max_value=5))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars).map(
+                    lambda v: v
+                ).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return num_vars, clauses
+
+
+@settings(max_examples=120, deadline=None)
+@given(boolean_formula())
+def test_bdd_agrees_with_truth_table(formula):
+    num_vars, clauses = formula
+    manager = BddManager(num_vars)
+    node = TRUE
+    for clause in clauses:
+        node = manager.apply_and(node, manager.clause(clause))
+    for bits in itertools.product([False, True], repeat=num_vars):
+        env = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        expected = all(
+            any(env[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        )
+        assert evaluate(manager, node, env) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(boolean_formula())
+def test_min_cost_model_is_optimal(formula):
+    num_vars, clauses = formula
+    manager = BddManager(num_vars)
+    node = TRUE
+    for clause in clauses:
+        node = manager.apply_and(node, manager.clause(clause))
+    costs = {v: v for v in range(1, num_vars + 1)}
+    model = manager.min_cost_model(node, costs)
+    if model is None:
+        assert node == FALSE
+        return
+    best = None
+    for bits in itertools.product([False, True], repeat=num_vars):
+        env = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if evaluate(manager, node, env):
+            cost = sum(costs[v] for v in env if env[v])
+            best = cost if best is None else min(best, cost)
+    achieved = sum(costs[v] for v in model if model[v])
+    assert achieved == best

@@ -1,0 +1,33 @@
+"""Tests for the benchmark data (re)generation tool."""
+
+from pathlib import Path
+
+from repro.bench import BENCHMARKS
+from repro.bench.make_data import data_dir, main
+from repro.bench.specs import generate
+
+
+def test_data_dir_is_packaged():
+    directory = data_dir()
+    assert directory.name == "data"
+    assert (directory / "nak-pa.g").exists()
+
+
+def test_all_files_present_and_current():
+    directory = data_dir()
+    for name in BENCHMARKS:
+        path = directory / f"{name}.g"
+        assert path.exists(), f"{name}.g missing; run repro.bench.make_data"
+        assert path.read_text(encoding="utf-8") == generate(name), (
+            f"{name}.g is stale; run python -m repro.bench.make_data"
+        )
+
+
+def test_main_regenerates_selected(tmp_path, monkeypatch):
+    import repro.bench.make_data as module
+
+    monkeypatch.setattr(module, "data_dir", lambda: Path(tmp_path))
+    assert main(["vbe-ex1"]) == 0
+    written = tmp_path / "vbe-ex1.g"
+    assert written.exists()
+    assert written.read_text(encoding="utf-8") == generate("vbe-ex1")

@@ -1,0 +1,71 @@
+"""Integration tests for the benchmark runners (small benchmarks only)."""
+
+import pytest
+
+from repro.bench import run_direct, run_lavagno, run_modular, table_rows
+from repro.bench.runner import aggregate_area
+from repro.sat.solver import Limits
+
+SMALL = ["vbe-ex1", "sendr-done", "nousc-ser", "nouse"]
+
+
+class TestRunModular:
+    def test_row_fields(self):
+        row = run_modular("vbe-ex1")
+        assert row.method == "modular"
+        assert row.completed
+        assert row.initial_signals == 2
+        assert row.final_signals == 3
+        assert row.final_states > row.initial_states
+        assert row.area > 0
+        assert row.cpu >= 0
+        assert row.formula_sizes
+
+    def test_repr(self):
+        row = run_modular("vbe-ex1")
+        assert "vbe-ex1" in repr(row)
+
+
+class TestRunDirect:
+    def test_completes_on_small(self):
+        row = run_direct("sendr-done")
+        assert row.completed
+        assert row.final_signals >= 4
+
+    def test_limit_produces_note(self):
+        row = run_direct(
+            "mr1", limits=Limits(max_backtracks=5, max_seconds=0.5),
+            minimize=False,
+        )
+        assert not row.completed
+        assert row.note == "backtrack-limit"
+        assert "backtrack" in repr(row)
+
+
+class TestRunLavagno:
+    def test_completes_on_small(self):
+        row = run_lavagno("nouse")
+        assert row.completed
+        assert row.method == "lavagno"
+        assert row.area > 0
+
+
+class TestTableRows:
+    def test_all_methods_on_smallest(self):
+        rows = table_rows(names=["vbe-ex1"], minimize=True)
+        per_method = rows["vbe-ex1"]
+        assert set(per_method) == {"modular", "direct", "lavagno"}
+        assert all(r.completed for r in per_method.values())
+
+    def test_method_subset(self):
+        rows = table_rows(names=SMALL, methods=("modular",), minimize=False)
+        assert all(set(r) == {"modular"} for r in rows.values())
+
+    def test_aggregate_area(self):
+        rows = table_rows(names=SMALL, methods=("modular", "direct"))
+        delta = aggregate_area(rows, baseline_method="direct")
+        assert delta is not None
+        assert -1.0 <= delta <= 1.0
+
+    def test_aggregate_area_empty(self):
+        assert aggregate_area({}, baseline_method="direct") is None

@@ -1,0 +1,132 @@
+"""Unit tests for state-signal assignments."""
+
+import pytest
+
+from repro.csc import Assignment, Value
+from repro.stg import parse_g
+from repro.stategraph import build_state_graph, quotient
+
+from tests.example_stgs import CSC_CONFLICT
+
+
+def sample():
+    """Two signals over three states."""
+    return Assignment(
+        ("n0", "n1"),
+        [
+            (Value.ZERO, Value.UP),
+            (Value.UP, Value.ONE),
+            (Value.ONE, Value.DOWN),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        a = Assignment.empty(5)
+        assert a.num_signals == 0
+        assert a.num_states == 5
+        assert a.cur_bits() == [()] * 5
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            Assignment(("n0",), [(Value.ZERO, Value.ONE)])
+
+    def test_value_lookup(self):
+        a = sample()
+        assert a.value(1, "n0") is Value.UP
+        assert a.column("n1") == [Value.UP, Value.ONE, Value.DOWN]
+
+
+class TestBitViews:
+    def test_cur_bits(self):
+        assert sample().cur_bits() == [(0, 0), (0, 1), (1, 1)]
+
+    def test_implied_bits(self):
+        assert sample().implied_bits() == [(0, 1), (1, 1), (1, 0)]
+
+    def test_excitation_bits(self):
+        assert sample().excitation_bits() == [(0, 1), (1, 0), (0, 1)]
+
+
+class TestComposition:
+    def test_extended(self):
+        a = Assignment.empty(2).extended(
+            ("n0",), [(Value.ZERO,), (Value.ONE,)]
+        )
+        assert a.names == ("n0",)
+        assert a.value(1, "n0") is Value.ONE
+
+    def test_extended_wrong_length(self):
+        with pytest.raises(ValueError):
+            Assignment.empty(2).extended(("n0",), [(Value.ZERO,)])
+
+    def test_restricted(self):
+        a = sample().restricted(["n1"])
+        assert a.names == ("n1",)
+        assert a.column("n1") == [Value.UP, Value.ONE, Value.DOWN]
+
+    def test_restricted_preserves_order(self):
+        a = sample().restricted(["n1", "n0"])
+        assert a.names == ("n0", "n1")
+
+
+class TestEdgeCompatibility:
+    def test_valid_assignment(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # 0 -> Up -> Up -> Up -> 1 -> Down around the six-state cycle.
+        values = [
+            (Value.ZERO,), (Value.UP,), (Value.UP,),
+            (Value.UP,), (Value.ONE,), (Value.DOWN,),
+        ]
+        a = Assignment(("n0",), values)
+        assert a.check_edge_compatibility(graph) == []
+
+    def test_invalid_assignment_reported(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        values = [(Value.ZERO,)] * 5 + [(Value.ONE,)]
+        a = Assignment(("n0",), values)
+        problems = a.check_edge_compatibility(graph)
+        assert problems
+        assert all(name == "n0" for _s, _t, name in problems)
+
+
+class TestQuotientInteraction:
+    def test_merged_over_valid(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        values = [
+            (Value.ZERO,), (Value.UP,), (Value.UP,),
+            (Value.UP,), (Value.ONE,), (Value.DOWN,),
+        ]
+        a = Assignment(("n0",), values)
+        q = quotient(graph, hidden_signals=["b"])
+        merged = a.merged_over(q.blocks)
+        assert merged is not None
+        assert merged.num_states == q.graph.num_states
+
+    def test_merged_over_invalid_returns_none(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # Hiding a and b merges states 0..4 into one block; a 0 -> ... -> 1
+        # chain without the excited phases inside is inconsistent.
+        values = [
+            (Value.ZERO,), (Value.ZERO,), (Value.ONE,),
+            (Value.ONE,), (Value.ONE,), (Value.ONE,),
+        ]
+        a = Assignment(("n0",), values)
+        q = quotient(graph, hidden_signals=["a", "b"])
+        assert a.merged_over(q.blocks) is None
+
+    def test_lifted_from_roundtrip(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        q = quotient(graph, hidden_signals=["b"])
+        macro = Assignment(
+            ("n0",),
+            [(Value.ZERO,)] * q.graph.num_states,
+        )
+        lifted = Assignment.empty(graph.num_states).lifted_from(
+            q.cover, macro
+        )
+        assert lifted.num_signals == 1
+        assert all(
+            lifted.value(s, "n0") is Value.ZERO for s in graph.states()
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for input signal set derivation (Figure 2)."""
+
+import pytest
+
+from repro.csc import Assignment, Value, determine_input_set, sg_triggers
+from repro.stg import parse_g
+from repro.stategraph import build_state_graph
+
+from tests.example_stgs import CONCURRENT, CSC_CONFLICT, HANDSHAKE
+
+
+class TestTriggers:
+    def test_handshake(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        assert sg_triggers(graph, "b") == {"a"}
+
+    def test_concurrent_join(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        # z becomes excited only when the second of x, y arrives.
+        assert sg_triggers(graph, "z") == {"x", "y"}
+        assert sg_triggers(graph, "x") == {"a"}
+
+    def test_self_not_trigger(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        assert "c" not in sg_triggers(graph, "c")
+
+
+class TestDetermineInputSet:
+    def test_rejects_input_signal(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        with pytest.raises(ValueError):
+            determine_input_set(
+                graph, "a", Assignment.empty(graph.num_states)
+            )
+
+    def test_handshake_b_needs_only_a(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        result = determine_input_set(
+            graph, "b", Assignment.empty(graph.num_states)
+        )
+        assert result.kept_signals == ["a"]
+        assert result.hidden_signals == []
+        assert result.conflicts == 0
+
+    def test_concurrent_outputs_drop_unrelated_signals(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        result = determine_input_set(
+            graph, "x", Assignment.empty(graph.num_states)
+        )
+        # x is triggered by a; hiding y and z must not create conflicts.
+        assert "a" in result.kept_signals
+        assert result.conflicts == 0
+        assert set(result.hidden_signals) <= {"y", "z"}
+
+    def test_trigger_never_hidden(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        result = determine_input_set(
+            graph, "c", Assignment.empty(graph.num_states)
+        )
+        # b- triggers c+: b must stay.
+        assert "b" in result.kept_signals
+
+    def test_conflicts_counted(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        result = determine_input_set(
+            graph, "c", Assignment.empty(graph.num_states)
+        )
+        assert result.conflicts >= 1
+        assert result.lower_bound >= 1
+
+    def test_greedy_never_increases_conflicts(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        for output in graph.non_inputs:
+            result = determine_input_set(
+                graph, output, Assignment.empty(graph.num_states)
+            )
+            baseline = determine_input_set(
+                graph, output, Assignment.empty(graph.num_states)
+            )
+            assert result.conflicts <= baseline.conflicts
+
+    def test_state_signal_kept_when_needed(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # A state signal that stably separates the conflict pair: removing
+        # it would re-create the conflict for output c.
+        values = [
+            (Value.ZERO,), (Value.UP,), (Value.UP,),
+            (Value.UP,), (Value.ONE,), (Value.DOWN,),
+        ]
+        existing = Assignment(("n0",), values)
+        result = determine_input_set(graph, "c", existing)
+        assert result.kept_state_signals == ["n0"]
+        assert result.dropped_state_signals == []
+        assert result.conflicts == 0
+
+    def test_useless_state_signal_dropped(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        existing = Assignment(
+            ("n0",), [(Value.ZERO,)] * graph.num_states
+        )
+        result = determine_input_set(graph, "b", existing)
+        assert result.kept_state_signals == []
+        assert result.dropped_state_signals == ["n0"]

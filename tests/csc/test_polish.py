@@ -1,0 +1,68 @@
+"""Unit tests for post-SAT assignment polishing."""
+
+from repro.csc import Assignment, Value, expand, modular_synthesis
+from repro.csc.polish import polish_assignment
+from repro.stategraph import build_state_graph, csc_conflicts
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+def _excited_count(assignment):
+    return sum(
+        1
+        for row in assignment.values
+        for value in row
+        if value.excited
+    )
+
+
+class TestPolish:
+    def test_empty_assignment_unchanged(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        empty = Assignment.empty(graph.num_states)
+        assert polish_assignment(graph, empty) is empty
+
+    def test_sprawling_region_shrinks(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # Valid but wasteful: three excited states where one suffices.
+        sprawling = Assignment(
+            ("n0",),
+            [
+                (Value.ZERO,), (Value.UP,), (Value.UP,),
+                (Value.UP,), (Value.ONE,), (Value.DOWN,),
+            ],
+        )
+        polished = polish_assignment(graph, sprawling)
+        assert _excited_count(polished) < _excited_count(sprawling)
+        # Still a correct solution.
+        assert csc_conflicts(expand(graph, polished)) == []
+
+    def test_minimal_region_stable(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        minimal = Assignment(
+            ("n0",),
+            [
+                (Value.ZERO,), (Value.ZERO,), (Value.ZERO,),
+                (Value.UP,), (Value.ONE,), (Value.DOWN,),
+            ],
+        )
+        polished = polish_assignment(graph, minimal)
+        # Exactly one rise and one fall must remain excited.
+        assert _excited_count(polished) == 2
+
+    def test_invalid_input_returned_unchanged(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # All-zero does not resolve the conflict: not accepted, unchanged.
+        broken = Assignment(
+            ("n0",), [(Value.ZERO,)] * graph.num_states
+        )
+        polished = polish_assignment(graph, broken)
+        assert polished.values == broken.values
+
+    def test_synthesis_results_are_polished(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        result = modular_synthesis(graph, minimize=False)
+        # The rise and fall of the single state signal each occupy one
+        # state after polishing.
+        assert _excited_count(result.assignment) == 2

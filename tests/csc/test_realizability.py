@@ -1,0 +1,62 @@
+"""Tests for input-realizability analysis of assignments.
+
+A state signal may not fire strictly *before* an input transition: the
+circuit cannot make its environment wait.  The SAT encoding forbids the
+value patterns, the polish pass refuses to introduce them, and this
+checker is the ground truth all of that rests on.
+"""
+
+from repro.csc import Assignment, Value, modular_synthesis
+from repro.stategraph import build_state_graph
+from repro.stg import parse_g
+
+from tests.example_stgs import ALL, CSC_CONFLICT
+
+
+def graph():
+    return build_state_graph(parse_g(CSC_CONFLICT))
+
+
+def test_firing_across_input_edge_detected():
+    g = graph()
+    # M2 --a- (input)--> M3 with (Up, 1): the signal claims to fire
+    # before the environment's a-.
+    values = [
+        (Value.ZERO,), (Value.ZERO,), (Value.UP,),
+        (Value.ONE,), (Value.ONE,), (Value.DOWN,),
+    ]
+    assignment = Assignment(("n0",), values)
+    problems = assignment.check_input_realizability(g)
+    assert (2, 3, "n0") in problems
+
+
+def test_firing_across_output_edge_allowed():
+    g = graph()
+    # Rise happens across b- (an output edge): realisable, the circuit
+    # delays its own output.
+    values = [
+        (Value.ZERO,), (Value.ZERO,), (Value.ZERO,),
+        (Value.UP,), (Value.ONE,), (Value.DOWN,),
+    ]
+    assignment = Assignment(("n0",), values)
+    assert assignment.check_input_realizability(g) == []
+
+
+def test_staying_excited_across_input_edge_allowed():
+    g = graph()
+    # Up persists across the input edge (fires later): fine.
+    values = [
+        (Value.ZERO,), (Value.UP,), (Value.UP,),
+        (Value.UP,), (Value.ONE,), (Value.DOWN,),
+    ]
+    assignment = Assignment(("n0",), values)
+    assert assignment.check_input_realizability(g) == []
+
+
+def test_synthesis_results_are_realizable():
+    for text in ALL.values():
+        stg = parse_g(text)
+        result = modular_synthesis(stg, minimize=False)
+        assert result.assignment.check_input_realizability(
+            result.graph
+        ) == []

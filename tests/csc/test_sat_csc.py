@@ -1,0 +1,98 @@
+"""Unit tests for the SAT-CSC encoding."""
+
+import pytest
+
+from repro.csc import (
+    Assignment,
+    IntrinsicConflictError,
+    build_csc_formula,
+    formula_stats,
+)
+from repro.csc.values import edge_compatible
+from repro.sat import solve
+from repro.stg import parse_g
+from repro.stategraph import build_state_graph, csc_conflicts, quotient
+from repro.stategraph.graph import EPSILON
+
+from tests.example_stgs import CSC_CONFLICT
+
+
+def conflict_graph():
+    return build_state_graph(parse_g(CSC_CONFLICT))
+
+
+class TestBuild:
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_csc_formula(conflict_graph(), 0)
+
+    def test_variables_allocated(self):
+        graph = conflict_graph()
+        formula = build_csc_formula(graph, 2)
+        # 2 boolean vars per (state, signal) pair plus auxiliaries.
+        assert formula.num_vars >= 2 * 2 * graph.num_states
+        assert formula.num_clauses > 0
+
+    def test_formula_stats(self):
+        formula = build_csc_formula(conflict_graph(), 1)
+        num_vars, num_clauses = formula_stats(formula)
+        assert num_vars == formula.num_vars
+        assert num_clauses == formula.num_clauses
+
+    def test_conflicts_found_automatically(self):
+        formula = build_csc_formula(conflict_graph(), 1)
+        assert len(formula.conflict_pairs) == 1
+
+    def test_intrinsic_conflict_rejected(self):
+        graph = conflict_graph()
+        q = quotient(graph, hidden_signals=["b"])
+        with pytest.raises(IntrinsicConflictError):
+            build_csc_formula(q, 1, outputs=["c"])
+
+    def test_clause_count_scales_with_m(self):
+        graph = conflict_graph()
+        one = build_csc_formula(graph, 1)
+        two = build_csc_formula(graph, 2)
+        assert two.num_clauses > one.num_clauses
+        assert two.num_vars > one.num_vars
+
+
+class TestSolveAndDecode:
+    def _solve(self, graph, m, outputs=None):
+        formula = build_csc_formula(graph, m, outputs=outputs)
+        result = solve(formula.cnf)
+        assert result.status == "sat"
+        return formula.decode(result.assignment)
+
+    def test_solution_is_edge_compatible(self):
+        graph = conflict_graph()
+        rows = self._solve(graph, 1)
+        for source, label, target in graph.edges:
+            if label is EPSILON:
+                continue
+            assert edge_compatible(rows[source][0], rows[target][0])
+
+    def test_solution_resolves_conflicts(self):
+        graph = conflict_graph()
+        rows = self._solve(graph, 1)
+        assignment = Assignment(("n0",), rows)
+        remaining = csc_conflicts(
+            graph,
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+        )
+        assert remaining == []
+
+    def test_conflict_pair_stably_separated(self):
+        graph = conflict_graph()
+        rows = self._solve(graph, 1)
+        ((i, j),) = csc_conflicts(graph)
+        vi, vj = rows[i][0], rows[j][0]
+        assert not vi.excited and not vj.excited
+        assert vi.cur != vj.cur
+
+    def test_decode_shape(self):
+        graph = conflict_graph()
+        rows = self._solve(graph, 2)
+        assert len(rows) == graph.num_states
+        assert all(len(row) == 2 for row in rows)

@@ -1,0 +1,128 @@
+"""Unit tests for the four-valued domain {0, 1, Up, Down}."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.csc.values import (
+    ALLOWED_EDGE_PAIRS,
+    CYCLE,
+    Value,
+    edge_compatible,
+    merge_values,
+)
+
+
+class TestValueProperties:
+    def test_cur(self):
+        assert Value.ZERO.cur == 0
+        assert Value.UP.cur == 0
+        assert Value.ONE.cur == 1
+        assert Value.DOWN.cur == 1
+
+    def test_excited(self):
+        assert not Value.ZERO.excited
+        assert not Value.ONE.excited
+        assert Value.UP.excited
+        assert Value.DOWN.excited
+
+    def test_implied(self):
+        assert Value.ZERO.implied == 0
+        assert Value.UP.implied == 1
+        assert Value.ONE.implied == 1
+        assert Value.DOWN.implied == 0
+
+    def test_bits_roundtrip(self):
+        for value in Value:
+            assert Value.from_bits(*value.bits) is value
+
+    def test_bit_encoding_matches_paper_layout(self):
+        # (current_value, excited): the code bit is the first component.
+        assert Value.ZERO.bits == (0, 0)
+        assert Value.ONE.bits == (1, 0)
+        assert Value.UP.bits == (0, 1)
+        assert Value.DOWN.bits == (1, 1)
+
+
+class TestEdgeCompatibility:
+    def test_allowed_count(self):
+        assert len(ALLOWED_EDGE_PAIRS) == 8
+
+    def test_stutter_always_allowed(self):
+        for value in Value:
+            assert edge_compatible(value, value)
+
+    def test_cycle_steps_allowed(self):
+        for i, value in enumerate(CYCLE):
+            assert edge_compatible(value, CYCLE[(i + 1) % 4])
+
+    def test_jumps_forbidden(self):
+        assert not edge_compatible(Value.ZERO, Value.ONE)
+        assert not edge_compatible(Value.ONE, Value.ZERO)
+        assert not edge_compatible(Value.UP, Value.DOWN)
+        assert not edge_compatible(Value.DOWN, Value.UP)
+
+    def test_semi_modularity_forbidden_pairs(self):
+        # An excited signal must not lose its excitation without firing.
+        assert not edge_compatible(Value.UP, Value.ZERO)
+        assert not edge_compatible(Value.DOWN, Value.ONE)
+
+    def test_backward_steps_forbidden(self):
+        assert not edge_compatible(Value.ONE, Value.UP)
+        assert not edge_compatible(Value.ZERO, Value.DOWN)
+
+
+class TestMergeValues:
+    def test_singleton(self):
+        for value in Value:
+            assert merge_values([value]) is value
+
+    def test_figure3_adjacent_merges(self):
+        assert merge_values([Value.ZERO, Value.UP]) is Value.UP
+        assert merge_values([Value.UP, Value.ONE]) is Value.UP
+        assert merge_values([Value.ONE, Value.DOWN]) is Value.DOWN
+        assert merge_values([Value.DOWN, Value.ZERO]) is Value.DOWN
+
+    def test_figure3_inconsistent_merges(self):
+        assert merge_values([Value.ZERO, Value.ONE]) is None
+        assert merge_values([Value.UP, Value.DOWN]) is None
+        assert merge_values([Value.ZERO, Value.DOWN, Value.UP]) is None
+
+    def test_three_value_arcs(self):
+        assert merge_values([Value.ZERO, Value.UP, Value.ONE]) is Value.UP
+        assert merge_values([Value.ONE, Value.DOWN, Value.ZERO]) is Value.DOWN
+
+    def test_full_cycle_invalid(self):
+        assert merge_values(list(Value)) is None
+
+    def test_duplicates_ignored(self):
+        assert merge_values([Value.UP, Value.UP, Value.ZERO]) is Value.UP
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_values([])
+
+
+@given(st.lists(st.sampled_from(list(Value)), min_size=1, max_size=6))
+def test_merge_is_order_independent(values):
+    results = {
+        merge_values(p) for p in itertools.permutations(set(values))
+    }
+    assert len(results) == 1
+
+
+@given(st.lists(st.sampled_from(list(Value)), min_size=1, max_size=6))
+def test_merge_preserves_excitation(values):
+    merged = merge_values(values)
+    if merged is not None and len(set(values)) > 1:
+        # A genuine merge always hides a transition inside: excited result.
+        assert merged.excited
+
+
+@given(st.sampled_from(list(Value)), st.sampled_from(list(Value)))
+def test_compatible_pairs_merge(before, after):
+    # Any value pair legal along an edge is also a legal ε merge.
+    if edge_compatible(before, after):
+        assert merge_values([before, after]) is not None

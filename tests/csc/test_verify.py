@@ -1,0 +1,50 @@
+"""Tests for CSC verification helpers."""
+
+import pytest
+
+from repro.csc import Assignment, Value, verify_csc
+from repro.csc.verify import assert_csc
+from repro.stategraph import build_state_graph
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+def test_clean_graph_verifies():
+    graph = build_state_graph(parse_g(HANDSHAKE))
+    assert verify_csc(graph) == []
+    assert_csc(graph)  # must not raise
+
+
+def test_conflict_reported():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    assert len(verify_csc(graph)) == 1
+    with pytest.raises(AssertionError, match="CSC violated"):
+        assert_csc(graph, context="unit test")
+
+
+def test_assignment_resolves():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    values = [
+        (Value.ZERO,), (Value.UP,), (Value.UP,),
+        (Value.UP,), (Value.ONE,), (Value.DOWN,),
+    ]
+    assignment = Assignment(("n0",), values)
+    assert verify_csc(graph, assignment) == []
+    assert_csc(graph, assignment)
+
+
+def test_state_signal_own_consistency_checked():
+    graph = build_state_graph(parse_g(HANDSHAKE))
+    # Give two same-code states... handshake has unique codes, so craft
+    # an assignment whose implied values are fine everywhere.
+    assignment = Assignment(
+        ("n0",), [(Value.ZERO,)] * graph.num_states
+    )
+    assert verify_csc(graph, assignment) == []
+
+
+def test_context_in_message():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    with pytest.raises(AssertionError, match="somewhere"):
+        assert_csc(graph, context="somewhere")

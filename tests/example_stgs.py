@@ -1,0 +1,77 @@
+"""Shared example STGs used across the test suite."""
+
+# A clean two-signal handshake: no USC pair, no CSC conflict.
+HANDSHAKE = """
+.model handshake
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+
+# Classic minimal CSC conflict: the state before a+ and the state before
+# c+ both have code (a,b,c) = 000, but only the latter excites output c.
+CSC_CONFLICT = """
+.model csc-ex
+.inputs a
+.outputs b c
+.graph
+a+ b+
+b+ a-
+a- b-
+b- c+
+c+ c-
+c- a+
+.marking { <c-,a+> }
+.end
+"""
+
+# Marked-graph concurrency: a+ forks x and y, which join at z.
+CONCURRENT = """
+.model concurrent
+.inputs a
+.outputs x y z
+.graph
+a+ x+ y+
+x+ z+
+y+ z+
+z+ a-
+a- x- y-
+x- z-
+y- z-
+z- a+
+.marking { <z-,a+> }
+.end
+"""
+
+# Free choice between inputs a and b; the two branches share code 001
+# after the input falls (a USC pair that is NOT a CSC conflict).
+CHOICE = """
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+/1
+b+ c+/2
+c+/1 a-
+c+/2 b-
+a- c-/1
+b- c-/2
+c-/1 p0
+c-/2 p0
+.marking { p0 }
+.end
+"""
+
+ALL = {
+    "handshake": HANDSHAKE,
+    "csc-ex": CSC_CONFLICT,
+    "concurrent": CONCURRENT,
+    "choice": CHOICE,
+}

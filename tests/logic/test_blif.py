@@ -1,0 +1,63 @@
+"""Tests for the BLIF netlist exporter."""
+
+import pytest
+
+from repro.csc import modular_synthesis
+from repro.logic.blif import write_blif, write_synthesis_blif
+from repro.logic.cover import Cover
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+def test_basic_structure():
+    covers = {"b": Cover.from_strings(2, ["1-"])}
+    text = write_blif(covers, ("a", "b"), ["a"], model="wire")
+    assert text.startswith(".model wire")
+    assert ".inputs a" in text
+    assert ".outputs b" in text
+    assert ".names a b b_next" in text
+    assert "1- 1" in text
+    assert text.rstrip().endswith(".end")
+
+
+def test_feedback_buffer_present():
+    covers = {"b": Cover.from_strings(2, ["1-"])}
+    text = write_blif(covers, ("a", "b"), ["a"])
+    assert ".names b_next b" in text
+
+
+def test_constant_zero_cover():
+    covers = {"b": Cover(2)}
+    text = write_blif(covers, ("a", "b"), ["a"])
+    assert "# constant 0" in text
+
+
+def test_missing_cover_rejected():
+    with pytest.raises(ValueError):
+        write_blif({}, ("a", "b"), ["a"])
+
+
+def test_cover_width_checked():
+    covers = {"b": Cover.from_strings(3, ["1--"])}
+    with pytest.raises(ValueError):
+        write_blif(covers, ("a", "b"), ["a"])
+
+
+def test_synthesis_export():
+    stg = parse_g(CSC_CONFLICT)
+    result = modular_synthesis(stg)
+    text = write_synthesis_blif(result, stg.inputs, model="csc_ex")
+    assert ".model csc_ex" in text
+    assert ".inputs a" in text
+    # The inserted state signal appears as an output table too.
+    assert "csc0" in text
+    # One .names table per non-input signal (plus its buffer).
+    assert text.count(".names") == 2 * len(result.expanded.non_inputs)
+
+
+def test_synthesis_export_needs_covers():
+    stg = parse_g(HANDSHAKE)
+    result = modular_synthesis(stg, minimize=False)
+    with pytest.raises(ValueError):
+        write_synthesis_blif(result, stg.inputs)

@@ -1,0 +1,62 @@
+"""Tests for the generalised C-element realisation."""
+
+import pytest
+
+from repro.csc import modular_synthesis
+from repro.logic.celement import (
+    excitation_regions,
+    synthesize_celements,
+)
+from repro.logic.espresso import verify_cover
+from repro.stategraph import build_state_graph
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+class TestExcitationRegions:
+    def test_handshake_regions(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        set_on, set_off, reset_on, reset_off = excitation_regions(
+            graph, "b"
+        )
+        # b rises in exactly one state (post-a+), falls in one (post-a-).
+        assert set_on == [(1, 0)]
+        assert reset_on == [(0, 1)]
+        # The rising region must be off where b is stable low or falling.
+        assert (0, 0) in set_off
+        assert (0, 1) in set_off
+
+    def test_unsolved_graph_rejected(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        with pytest.raises(ValueError, match="CSC"):
+            excitation_regions(graph, "c")
+
+
+class TestSynthesizeCelements:
+    def test_covers_are_correct(self):
+        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        graph = result.expanded
+        implementations, total = synthesize_celements(graph)
+        assert set(implementations) == set(graph.non_inputs)
+        assert total == sum(
+            impl.literals for impl in implementations.values()
+        )
+        for signal, impl in implementations.items():
+            set_on, set_off, reset_on, reset_off = excitation_regions(
+                graph, signal
+            )
+            assert verify_cover(impl.set_cover, set_on, set_off) == []
+            assert verify_cover(impl.reset_cover, reset_on, reset_off) == []
+
+    def test_subset(self):
+        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        implementations, _ = synthesize_celements(
+            result.expanded, signals=["b"]
+        )
+        assert list(implementations) == ["b"]
+
+    def test_repr(self):
+        result = modular_synthesis(parse_g(HANDSHAKE), minimize=False)
+        implementations, _ = synthesize_celements(result.expanded)
+        assert "set=" in repr(implementations["b"])

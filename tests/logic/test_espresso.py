@@ -1,0 +1,131 @@
+"""Unit and property tests for the espresso-like minimizer."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.espresso import espresso, verify_cover
+
+
+def all_minterms(n):
+    return list(itertools.product([0, 1], repeat=n))
+
+
+class TestKnownFunctions:
+    def test_empty_onset(self):
+        cover = espresso([], [(0, 0), (1, 1)], 2)
+        assert len(cover) == 0
+
+    def test_constant_one(self):
+        cover = espresso(all_minterms(2), [], 2)
+        assert len(cover) == 1
+        assert cover.literals == 0  # the universal cube
+
+    def test_single_minterm_with_dc_everywhere(self):
+        cover = espresso([(1, 1)], [], 2)
+        assert cover.literals == 0
+
+    def test_and_function(self):
+        onset = [(1, 1)]
+        offset = [(0, 0), (0, 1), (1, 0)]
+        cover = espresso(onset, offset, 2)
+        assert cover.literals == 2
+        assert verify_cover(cover, onset, offset) == []
+
+    def test_or_function(self):
+        onset = [(0, 1), (1, 0), (1, 1)]
+        offset = [(0, 0)]
+        cover = espresso(onset, offset, 2)
+        assert cover.literals == 2  # x + y
+        assert len(cover) == 2
+
+    def test_xor_cannot_be_merged(self):
+        onset = [(0, 1), (1, 0)]
+        offset = [(0, 0), (1, 1)]
+        cover = espresso(onset, offset, 2)
+        assert cover.literals == 4
+        assert verify_cover(cover, onset, offset) == []
+
+    def test_dont_cares_exploited(self):
+        # f = 1 on 11, 0 on 00, DC on the rest: one literal suffices.
+        cover = espresso([(1, 1)], [(0, 0)], 2)
+        assert cover.literals == 1
+
+    def test_classic_three_variable(self):
+        # f = a'b + ab' with c as don't care input everywhere.
+        onset = [(0, 1, c) for c in (0, 1)] + [(1, 0, c) for c in (0, 1)]
+        offset = [(0, 0, c) for c in (0, 1)] + [(1, 1, c) for c in (0, 1)]
+        cover = espresso(onset, offset, 3)
+        assert cover.literals == 4
+        assert all(cube.literals == 2 for cube in cover)
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            espresso([(1, 1)], [(1, 1)], 2)
+
+    def test_bad_minterm_rejected(self):
+        with pytest.raises(ValueError):
+            espresso([(1, 2)], [], 2)
+        with pytest.raises(ValueError):
+            espresso([(1,)], [], 2)
+
+
+class TestPrimality:
+    def test_cubes_are_prime(self):
+        # No cube can be expanded without hitting the OFF-set.
+        onset = [(0, 1), (1, 0), (1, 1)]
+        offset = [(0, 0)]
+        cover = espresso(onset, offset, 2)
+        for cube in cover:
+            for i in range(2):
+                if cube[i] == 2:
+                    continue
+                raised = cube.raised(i)
+                assert any(
+                    raised.contains_minterm(m) for m in offset
+                ), f"cube {cube} is not prime"
+
+    def test_cover_is_irredundant(self):
+        onset = [(0, 1), (1, 0), (1, 1)]
+        offset = [(0, 0)]
+        cover = espresso(onset, offset, 2)
+        for index in range(len(cover)):
+            rest = cover.without(index)
+            assert not all(rest.contains_minterm(m) for m in onset)
+
+
+@st.composite
+def random_function(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    assignment = draw(
+        st.lists(
+            st.sampled_from(["on", "off", "dc"]),
+            min_size=2 ** n,
+            max_size=2 ** n,
+        )
+    )
+    onset, offset = [], []
+    for bits, kind in zip(itertools.product([0, 1], repeat=n), assignment):
+        if kind == "on":
+            onset.append(bits)
+        elif kind == "off":
+            offset.append(bits)
+    return n, onset, offset
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_function())
+def test_minimized_cover_is_correct(function):
+    n, onset, offset = function
+    cover = espresso(onset, offset, n)
+    assert verify_cover(cover, onset, offset) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_function())
+def test_minimization_never_increases_literals(function):
+    n, onset, offset = function
+    cover = espresso(onset, offset, n)
+    assert cover.literals <= n * len(onset)

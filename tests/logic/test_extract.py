@@ -1,0 +1,55 @@
+"""Unit tests for logic extraction from state graphs."""
+
+import pytest
+
+from repro.csc import modular_synthesis
+from repro.logic.espresso import verify_cover
+from repro.logic.extract import next_state_tables, synthesize_logic
+from repro.logic.literals import total_literals
+from repro.stg import parse_g
+from repro.stategraph import build_state_graph
+
+from tests.example_stgs import CONCURRENT, CSC_CONFLICT, HANDSHAKE
+
+
+class TestNextStateTables:
+    def test_handshake_output(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        tables = next_state_tables(graph)
+        onset, offset = tables["b"]
+        # b's next value is exactly a's current value.
+        a_index = graph.signal_index("a")
+        assert all(code[a_index] == 1 for code in onset)
+        assert all(code[a_index] == 0 for code in offset)
+
+    def test_csc_violating_graph_rejected(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        with pytest.raises(ValueError, match="CSC"):
+            next_state_tables(graph)
+
+    def test_subset_of_signals(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        tables = next_state_tables(graph, signals=["x"])
+        assert set(tables) == {"x"}
+
+
+class TestSynthesizeLogic:
+    def test_handshake_is_a_wire(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        covers, literals = synthesize_logic(graph)
+        assert literals == 1  # F_b = a
+        assert str(covers["b"][0]) == "1-"
+
+    def test_covers_are_functionally_correct(self):
+        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        graph = result.expanded
+        covers, _literals = synthesize_logic(graph)
+        tables = next_state_tables(graph)
+        for signal, cover in covers.items():
+            onset, offset = tables[signal]
+            assert verify_cover(cover, onset, offset) == []
+
+    def test_total_literals_helper(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        covers, literals = synthesize_logic(graph)
+        assert total_literals(covers) == literals

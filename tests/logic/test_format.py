@@ -1,0 +1,37 @@
+"""Unit tests for cover/equation rendering."""
+
+import pytest
+
+from repro.logic import cover_to_expression, cube_to_expression, equations
+from repro.logic.cover import Cover, Cube
+
+
+def test_cube_expression():
+    assert cube_to_expression(Cube.parse("1-0"), ["a", "b", "c"]) == "a & !c"
+
+
+def test_universal_cube_is_one():
+    assert cube_to_expression(Cube.full(3), ["a", "b", "c"]) == "1"
+
+
+def test_name_count_checked():
+    with pytest.raises(ValueError):
+        cube_to_expression(Cube.parse("1-"), ["a"])
+
+
+def test_cover_expression():
+    cover = Cover.from_strings(2, ["1-", "01"])
+    assert cover_to_expression(cover, ["a", "b"]) == "a | !a & b"
+
+
+def test_empty_cover_is_zero():
+    assert cover_to_expression(Cover(2), ["a", "b"]) == "0"
+
+
+def test_equations_sorted_by_signal():
+    covers = {
+        "z": Cover.from_strings(2, ["1-"]),
+        "a": Cover.from_strings(2, ["-1"]),
+    }
+    lines = equations(covers, ("x", "y"))
+    assert lines == ["a = y", "z = x"]

@@ -1,0 +1,41 @@
+"""Unit tests for static hazard detection."""
+
+from repro.logic.cover import Cover, Cube
+from repro.logic.hazards import hazard_free_patch, static_hazards
+
+
+def test_no_hazard_single_cube():
+    cover = Cover.from_strings(2, ["1-"])
+    onset = [(1, 0), (1, 1)]
+    assert static_hazards(cover, onset) == []
+
+
+def test_classic_two_cube_hazard():
+    # f = ab + a'c: transition abc 111 -> 011 crosses the cube boundary.
+    cover = Cover.from_strings(3, ["11-", "0-1"])
+    onset = [(1, 1, 0), (1, 1, 1), (0, 1, 1), (0, 0, 1)]
+    hazards = static_hazards(cover, onset)
+    assert ((0, 1, 1), (1, 1, 1)) in hazards or (
+        (1, 1, 1), (0, 1, 1)
+    ) in hazards
+
+
+def test_patch_covers_hazard_pair():
+    cover = Cover.from_strings(3, ["11-", "0-1"])
+    onset = [(1, 1, 0), (1, 1, 1), (0, 1, 1), (0, 0, 1)]
+    hazards = static_hazards(cover, onset)
+    patches = hazard_free_patch(cover, hazards)
+    for a, b in hazards:
+        assert any(
+            p.contains_minterm(a) and p.contains_minterm(b) for p in patches
+        )
+    # Adding the patches removes the hazards.
+    for patch in patches:
+        cover.append(patch)
+    assert static_hazards(cover, onset) == []
+
+
+def test_non_adjacent_pairs_ignored():
+    cover = Cover.from_strings(2, ["11", "00"])
+    onset = [(1, 1), (0, 0)]  # Hamming distance 2: not a SIC pair
+    assert static_hazards(cover, onset) == []

@@ -1,0 +1,72 @@
+"""Unit tests for repro.petrinet.builder."""
+
+import pytest
+
+from repro.petrinet import NetBuilder, NetStructureError
+from repro.petrinet.builder import implicit_place_name
+
+
+def test_transition_arc_creates_implicit_place():
+    net = (
+        NetBuilder()
+        .transition("a+").transition("b+")
+        .arc("a+", "b+")
+        .build()
+    )
+    middle = implicit_place_name("a+", "b+")
+    assert middle in net.places
+    assert net.preset("b+") == frozenset({middle})
+    assert net.postset("a+") == frozenset({middle})
+
+
+def test_explicit_place_arcs():
+    net = (
+        NetBuilder()
+        .place("p")
+        .transition("t")
+        .arc("p", "t").arc("t", "p")
+        .mark("p")
+        .build()
+    )
+    assert net.enabled(net.initial_marking) == ["t"]
+
+
+def test_mark_implicit_place_by_transition_pair():
+    net = (
+        NetBuilder()
+        .arc("a+", "b+").arc("b+", "a+")
+        .mark("b+", "a+")
+        .build()
+    )
+    assert net.enabled(net.initial_marking) == ["a+"]
+
+
+def test_undeclared_nodes_become_transitions():
+    net = NetBuilder().arc("x", "y").build()
+    assert {"x", "y"} <= net.transitions
+
+
+def test_mark_unknown_place_raises():
+    with pytest.raises(NetStructureError):
+        NetBuilder().mark("nope")
+
+
+def test_mark_wrong_arity():
+    with pytest.raises(TypeError):
+        NetBuilder().mark("a", "b", "c")
+
+
+def test_duplicate_implicit_place_rejected():
+    builder = NetBuilder().arc("a", "b")
+    with pytest.raises(NetStructureError):
+        builder.arc("a", "b")
+
+
+def test_mark_with_token_count():
+    net = (
+        NetBuilder()
+        .place("p").transition("t").arc("p", "t").arc("t", "p")
+        .mark("p", tokens=2)
+        .build()
+    )
+    assert net.initial_marking["p"] == 2

@@ -1,0 +1,126 @@
+"""Unit tests for repro.petrinet.marking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.petrinet import Marking
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = Marking()
+        assert len(m) == 0
+        assert m.total_tokens() == 0
+        assert m["p"] == 0
+
+    def test_from_iterable_counts_occurrences(self):
+        m = Marking(["p", "q", "p"])
+        assert m["p"] == 2
+        assert m["q"] == 1
+
+    def test_from_mapping(self):
+        m = Marking({"p": 3, "q": 0})
+        assert m["p"] == 3
+        assert "q" not in m
+        assert len(m) == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Marking({"p": -1})
+
+    def test_zero_counts_dropped(self):
+        assert Marking({"p": 0}) == Marking()
+
+
+class TestAccess:
+    def test_contains(self):
+        m = Marking(["p"])
+        assert "p" in m
+        assert "q" not in m
+
+    def test_iter_yields_marked_places(self):
+        m = Marking({"b": 2, "a": 1})
+        assert list(m) == ["a", "b"]
+
+    def test_places(self):
+        assert Marking(["p", "q"]).places() == frozenset({"p", "q"})
+
+    def test_items_sorted(self):
+        assert Marking({"z": 1, "a": 2}).items() == (("a", 2), ("z", 1))
+
+
+class TestTokenGame:
+    def test_add(self):
+        m = Marking(["p"]).add(["p", "q"])
+        assert m["p"] == 2 and m["q"] == 1
+
+    def test_add_returns_new(self):
+        m = Marking(["p"])
+        m.add(["q"])
+        assert "q" not in m
+
+    def test_remove(self):
+        m = Marking({"p": 2}).remove(["p"])
+        assert m["p"] == 1
+
+    def test_remove_last_token(self):
+        assert Marking(["p"]).remove(["p"]) == Marking()
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            Marking(["p"]).remove(["q"])
+
+    def test_covers(self):
+        m = Marking({"p": 2, "q": 1})
+        assert m.covers(["p", "q"])
+        assert m.covers(["p", "p"])
+        assert not m.covers(["p", "p", "p"])
+        assert not m.covers(["r"])
+
+    def test_covers_empty(self):
+        assert Marking().covers([])
+
+    def test_is_safe(self):
+        assert Marking(["p", "q"]).is_safe()
+        assert not Marking({"p": 2}).is_safe()
+
+
+class TestValueSemantics:
+    def test_eq_and_hash(self):
+        assert Marking(["p", "q"]) == Marking(["q", "p"])
+        assert hash(Marking(["p"])) == hash(Marking(["p"]))
+
+    def test_neq_other_type(self):
+        assert Marking(["p"]) != {"p": 1}
+
+    def test_ordering(self):
+        assert Marking(["a"]) < Marking(["b"])
+
+    def test_usable_as_dict_key(self):
+        d = {Marking(["p"]): 1}
+        assert d[Marking(["p"])] == 1
+
+    def test_repr_mentions_counts(self):
+        assert "p*2" in repr(Marking({"p": 2}))
+
+
+places = st.sampled_from(["p", "q", "r", "s"])
+
+
+@given(st.lists(places, max_size=8), st.lists(places, max_size=4))
+def test_add_then_remove_roundtrip(base, extra):
+    m = Marking(base)
+    assert m.add(extra).remove(extra) == m
+
+
+@given(st.lists(places, max_size=8))
+def test_total_tokens_matches_length(tokens):
+    assert Marking(tokens).total_tokens() == len(tokens)
+
+
+@given(st.lists(places, max_size=8))
+def test_hash_consistent_with_eq(tokens):
+    a, b = Marking(tokens), Marking(list(reversed(tokens)))
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.petrinet.net."""
+
+import pytest
+
+from repro.petrinet import Marking, NetStructureError, PetriNet
+
+
+def simple_cycle():
+    """p0 -> t1 -> p1 -> t2 -> p0, token on p0."""
+    return PetriNet(
+        places=["p0", "p1"],
+        transitions=["t1", "t2"],
+        arcs=[("p0", "t1"), ("t1", "p1"), ("p1", "t2"), ("t2", "p0")],
+        initial_marking=["p0"],
+    )
+
+
+def fork_join():
+    """t0 forks into p1,p2; t1/t2 consume them; t3 joins p3,p4."""
+    return PetriNet(
+        places=["p0", "p1", "p2", "p3", "p4", "p5"],
+        transitions=["t0", "t1", "t2", "t3"],
+        arcs=[
+            ("p0", "t0"), ("t0", "p1"), ("t0", "p2"),
+            ("p1", "t1"), ("t1", "p3"),
+            ("p2", "t2"), ("t2", "p4"),
+            ("p3", "t3"), ("p4", "t3"), ("t3", "p5"),
+        ],
+        initial_marking=["p0"],
+    )
+
+
+class TestStructure:
+    def test_place_transition_name_collision(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["x"], ["x"], [])
+
+    def test_arc_to_unknown_node(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["p"], ["t"], [("p", "unknown")])
+
+    def test_place_to_place_arc_rejected(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["p", "q"], ["t"], [("p", "q")])
+
+    def test_transition_to_transition_arc_rejected(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["p"], ["t", "u"], [("t", "u")])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["p"], ["t"], [("p", "t"), ("p", "t")])
+
+    def test_marking_of_unknown_place_rejected(self):
+        with pytest.raises(NetStructureError):
+            PetriNet(["p"], ["t"], [("p", "t")], ["nope"])
+
+    def test_presets_and_postsets(self):
+        net = fork_join()
+        assert net.preset("t3") == frozenset({"p3", "p4"})
+        assert net.postset("t0") == frozenset({"p1", "p2"})
+        assert net.place_preset("p3") == frozenset({"t1"})
+        assert net.place_postset("p0") == frozenset({"t0"})
+
+    def test_arcs_roundtrip(self):
+        net = simple_cycle()
+        assert ("p0", "t1") in net.arcs()
+        assert ("t2", "p0") in net.arcs()
+        assert len(net.arcs()) == 4
+
+    def test_unknown_transition_query(self):
+        with pytest.raises(NetStructureError):
+            simple_cycle().preset("nope")
+
+    def test_unknown_place_query(self):
+        with pytest.raises(NetStructureError):
+            simple_cycle().place_preset("nope")
+
+
+class TestTokenGame:
+    def test_enabled_list(self):
+        net = simple_cycle()
+        assert net.enabled(net.initial_marking) == ["t1"]
+
+    def test_enabled_single(self):
+        net = simple_cycle()
+        assert net.enabled(net.initial_marking, "t1")
+        assert not net.enabled(net.initial_marking, "t2")
+
+    def test_fire_moves_token(self):
+        net = simple_cycle()
+        after = net.fire(net.initial_marking, "t1")
+        assert after == Marking(["p1"])
+
+    def test_fire_disabled_raises(self):
+        net = simple_cycle()
+        with pytest.raises(ValueError):
+            net.fire(net.initial_marking, "t2")
+
+    def test_fire_sequence_cycles_back(self):
+        net = simple_cycle()
+        assert net.fire_sequence(["t1", "t2"]) == net.initial_marking
+
+    def test_fork_enables_both_branches(self):
+        net = fork_join()
+        m = net.fire(net.initial_marking, "t0")
+        assert net.enabled(m) == ["t1", "t2"]
+
+    def test_join_requires_both_tokens(self):
+        net = fork_join()
+        m = net.fire_sequence(["t0", "t1"])
+        assert not net.enabled(m, "t3")
+        m = net.fire(m, "t2")
+        assert net.enabled(m, "t3")
+
+
+class TestDerivedNets:
+    def test_with_marking(self):
+        net = simple_cycle()
+        moved = net.with_marking(Marking(["p1"]))
+        assert moved.enabled(moved.initial_marking) == ["t2"]
+
+    def test_renamed_transitions(self):
+        net = simple_cycle()
+        renamed = net.renamed_transitions({"t1": "go"})
+        assert "go" in renamed.transitions
+        assert renamed.enabled(renamed.initial_marking) == ["go"]
+
+    def test_renaming_must_be_injective(self):
+        with pytest.raises(NetStructureError):
+            simple_cycle().renamed_transitions({"t1": "t2"})
+
+    def test_repr_counts(self):
+        assert "|P|=2" in repr(simple_cycle())

@@ -1,0 +1,118 @@
+"""Unit tests for repro.petrinet.properties."""
+
+from repro.petrinet import (
+    NetBuilder,
+    PetriNet,
+    is_free_choice,
+    is_live,
+    is_marked_graph,
+    is_safe,
+    is_state_machine,
+)
+
+
+def cycle_net():
+    return PetriNet(
+        ["p0", "p1"],
+        ["t1", "t2"],
+        [("p0", "t1"), ("t1", "p1"), ("p1", "t2"), ("t2", "p0")],
+        ["p0"],
+    )
+
+
+def choice_net():
+    """One place feeding two transitions (a free choice)."""
+    return PetriNet(
+        ["p0", "p1", "p2"],
+        ["a", "b", "ra", "rb"],
+        [
+            ("p0", "a"), ("p0", "b"),
+            ("a", "p1"), ("b", "p2"),
+            ("p1", "ra"), ("p2", "rb"),
+            ("ra", "p0"), ("rb", "p0"),
+        ],
+        ["p0"],
+    )
+
+
+def non_free_choice_net():
+    """p0 feeds {a, b} but b also needs p1: the choice is not free."""
+    return PetriNet(
+        ["p0", "p1", "p2"],
+        ["a", "b", "r"],
+        [
+            ("p0", "a"), ("p0", "b"), ("p1", "b"),
+            ("a", "p2"), ("b", "p2"),
+            ("p2", "r"), ("r", "p0"), ("r", "p1"),
+        ],
+        ["p0", "p1"],
+    )
+
+
+class TestStructuralClasses:
+    def test_cycle_is_marked_graph_and_state_machine(self):
+        net = cycle_net()
+        assert is_marked_graph(net)
+        assert is_state_machine(net)
+        assert is_free_choice(net)
+
+    def test_choice_is_not_marked_graph(self):
+        net = choice_net()
+        assert not is_marked_graph(net)
+        assert is_state_machine(net)
+        assert is_free_choice(net)
+
+    def test_fork_join_is_marked_graph_not_state_machine(self):
+        net = (
+            NetBuilder()
+            .transition("f").transition("a").transition("b").transition("j")
+            .arc("f", "a").arc("f", "b").arc("a", "j").arc("b", "j")
+            .arc("j", "f").mark("j", "f")
+            .build()
+        )
+        assert is_marked_graph(net)
+        assert not is_state_machine(net)
+
+    def test_non_free_choice_detected(self):
+        assert not is_free_choice(non_free_choice_net())
+
+
+class TestBehaviouralProperties:
+    def test_safe_cycle(self):
+        assert is_safe(cycle_net())
+
+    def test_unsafe_net(self):
+        # Two conserved tokens can both land in place c: bounded, unsafe.
+        net = PetriNet(
+            ["a", "b", "c"],
+            ["t", "u", "v1", "v2"],
+            [
+                ("a", "t"), ("t", "c"),
+                ("b", "u"), ("u", "c"),
+                ("c", "v1"), ("v1", "a"),
+                ("c", "v2"), ("v2", "b"),
+            ],
+            ["a", "b"],
+        )
+        assert not is_safe(net, token_bound=4, marking_limit=50)
+
+    def test_live_cycle(self):
+        assert is_live(cycle_net())
+
+    def test_choice_net_is_live(self):
+        assert is_live(choice_net())
+
+    def test_deadlocking_net_is_not_live(self):
+        net = PetriNet(
+            ["p0", "p1"], ["t"], [("p0", "t"), ("t", "p1")], ["p0"]
+        )
+        assert not is_live(net)
+
+    def test_dead_transition_is_not_live(self):
+        net = PetriNet(
+            ["p0", "p1"],
+            ["t", "never"],
+            [("p0", "t"), ("t", "p0"), ("p1", "never"), ("never", "p1")],
+            ["p0"],
+        )
+        assert not is_live(net)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.petrinet.reachability."""
+
+import pytest
+
+from repro.petrinet import (
+    Marking,
+    NetBuilder,
+    PetriNet,
+    UnboundedNetError,
+    reachability_graph,
+)
+
+
+def test_cycle_graph():
+    net = PetriNet(
+        ["p0", "p1"],
+        ["t1", "t2"],
+        [("p0", "t1"), ("t1", "p1"), ("p1", "t2"), ("t2", "p0")],
+        ["p0"],
+    )
+    graph = reachability_graph(net)
+    assert len(graph) == 2
+    assert graph.initial == Marking(["p0"])
+    assert len(graph.edges) == 2
+    assert graph.fired_transitions() == {"t1", "t2"}
+
+
+def test_fork_join_interleavings():
+    net = (
+        NetBuilder()
+        .transition("fork").transition("a").transition("b").transition("join")
+        .arc("fork", "a").arc("fork", "b")
+        .arc("a", "join").arc("b", "join")
+        .arc("join", "fork")
+        .mark("join", "fork")
+        .build()
+    )
+    graph = reachability_graph(net)
+    # fork, {a|b pending}, a done, b done, both done -> 5 markings
+    assert len(graph) == 5
+    # Diamond: two interleavings a;b and b;a.
+    assert len(graph.edges) == 6
+
+
+def test_deadlock_detection():
+    net = PetriNet(["p0", "p1"], ["t"], [("p0", "t"), ("t", "p1")], ["p0"])
+    graph = reachability_graph(net)
+    assert graph.deadlocks() == [Marking(["p1"])]
+
+
+def test_no_deadlock_in_cycle():
+    net = PetriNet(
+        ["p"], ["t"], [("p", "t"), ("t", "p")], ["p"]
+    )
+    assert reachability_graph(net).deadlocks() == []
+
+
+def test_unbounded_place_detected():
+    # t consumes nothing it does not put back and keeps producing into q.
+    net = PetriNet(
+        ["p", "q"],
+        ["t"],
+        [("p", "t"), ("t", "p"), ("t", "q")],
+        ["p"],
+    )
+    with pytest.raises(UnboundedNetError):
+        reachability_graph(net)
+
+
+def test_marking_limit_enforced():
+    # A bounded but wide net: 8 independent toggles -> 256 markings.
+    builder = NetBuilder()
+    for i in range(8):
+        builder.transition(f"up{i}").transition(f"dn{i}")
+        builder.arc(f"up{i}", f"dn{i}").arc(f"dn{i}", f"up{i}")
+        builder.mark(f"dn{i}", f"up{i}")
+    net = builder.build()
+    with pytest.raises(UnboundedNetError) as info:
+        reachability_graph(net, marking_limit=10)
+    assert info.value.markings_seen == 10
+    # With enough room it completes.
+    assert len(reachability_graph(net)) == 256
+
+
+def test_successors_and_predecessors():
+    net = PetriNet(
+        ["p0", "p1"],
+        ["t1", "t2"],
+        [("p0", "t1"), ("t1", "p1"), ("p1", "t2"), ("t2", "p0")],
+        ["p0"],
+    )
+    graph = reachability_graph(net)
+    m0 = Marking(["p0"])
+    m1 = Marking(["p1"])
+    assert graph.successors(m0) == [("t1", m1)]
+    assert graph.predecessors(m0) == [("t2", m1)]
+    assert m0 in graph and m1 in graph

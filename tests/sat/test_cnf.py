@@ -1,0 +1,83 @@
+"""Unit tests for repro.sat.cnf."""
+
+import pytest
+
+from repro.sat import Cnf
+
+
+def test_new_var_sequence():
+    cnf = Cnf()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.num_vars == 2
+
+
+def test_named_vars():
+    cnf = Cnf()
+    a = cnf.var("a")
+    assert cnf.var("a") == a
+    assert cnf.name_of(a) == "a"
+    assert cnf.name_of(cnf.new_var()) is None
+
+
+def test_duplicate_name_rejected():
+    cnf = Cnf()
+    cnf.new_var("a")
+    with pytest.raises(ValueError):
+        cnf.new_var("a")
+
+
+def test_add_clause_dedupes_literals():
+    cnf = Cnf()
+    a = cnf.new_var()
+    cnf.add_clause([a, a])
+    assert cnf.clauses == [(a,)]
+
+
+def test_tautology_dropped():
+    cnf = Cnf()
+    a = cnf.new_var()
+    cnf.add_clause([a, -a])
+    assert cnf.num_clauses == 0
+
+
+def test_zero_literal_rejected():
+    cnf = Cnf()
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+
+
+def test_unallocated_variable_rejected():
+    cnf = Cnf()
+    with pytest.raises(ValueError):
+        cnf.add_clause([5])
+
+
+def test_empty_clause_allowed():
+    cnf = Cnf()
+    cnf.add_clause([])
+    assert cnf.clauses == [()]
+
+
+def test_evaluate():
+    cnf = Cnf()
+    a, b = cnf.new_var(), cnf.new_var()
+    cnf.add_clause([a, b])
+    cnf.add_clause([-a, b])
+    assert cnf.evaluate({a: True, b: True})
+    assert not cnf.evaluate({a: True, b: False})
+    assert cnf.evaluate({a: False, b: True})
+
+
+def test_to_dimacs():
+    cnf = Cnf()
+    a, b = cnf.new_var(), cnf.new_var()
+    cnf.add_clause([a, -b])
+    text = cnf.to_dimacs()
+    assert text.startswith("p cnf 2 1")
+    assert "1 -2 0" in text
+
+
+def test_name_of_unknown_var():
+    with pytest.raises(ValueError):
+        Cnf().name_of(1)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.sat.encode helpers."""
+
+import itertools
+
+from repro.sat import (
+    Cnf,
+    add_at_most_one,
+    add_equal,
+    add_implies,
+    add_xor_var,
+    solve,
+)
+
+
+def models(cnf, over):
+    """Enumerate assignments to ``over`` extendable to full models."""
+    found = set()
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}
+        if cnf.evaluate(assignment):
+            found.add(tuple(assignment[v] for v in over))
+    return found
+
+
+def test_add_implies():
+    cnf = Cnf()
+    a, b, c = (cnf.new_var() for _ in range(3))
+    add_implies(cnf, [a, b], c)
+    assert (True, True, False) not in models(cnf, [a, b, c])
+    assert (True, True, True) in models(cnf, [a, b, c])
+
+
+def test_add_equal():
+    cnf = Cnf()
+    a, b = cnf.new_var(), cnf.new_var()
+    add_equal(cnf, a, b)
+    assert models(cnf, [a, b]) == {(False, False), (True, True)}
+
+
+def test_add_equal_guarded():
+    cnf = Cnf()
+    g, a, b = (cnf.new_var() for _ in range(3))
+    add_equal(cnf, a, b, condition=[g])
+    result = models(cnf, [g, a, b])
+    assert (True, True, False) not in result
+    assert (False, True, False) in result  # guard off: unconstrained
+
+
+def test_add_xor_var():
+    cnf = Cnf()
+    a, b = cnf.new_var(), cnf.new_var()
+    d = add_xor_var(cnf, a, b, name="d")
+    for va, vb, vd in models(cnf, [a, b, d]):
+        assert vd == (va != vb)
+    assert cnf.name_of(d) == "d"
+
+
+def test_add_at_most_one():
+    cnf = Cnf()
+    vs = [cnf.new_var() for _ in range(4)]
+    add_at_most_one(cnf, vs)
+    for model in models(cnf, vs):
+        assert sum(model) <= 1
+    assert solve(cnf).status == "sat"

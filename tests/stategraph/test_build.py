@@ -1,0 +1,140 @@
+"""Unit tests for state graph construction."""
+
+import pytest
+
+from repro.stg import parse_g
+from repro.stategraph import (
+    EPSILON,
+    InconsistentStgError,
+    build_state_graph,
+)
+from repro.petrinet.reachability import reachability_graph
+from repro.stategraph.build import infer_signal_values
+
+from tests.example_stgs import CHOICE, CONCURRENT, CSC_CONFLICT, HANDSHAKE
+
+
+class TestHandshake:
+    def test_shape(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        assert graph.num_states == 4
+        assert graph.num_edges == 4
+        assert graph.signals == ("a", "b")
+
+    def test_codes_unique(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        assert len(set(graph.codes)) == 4
+        assert set(graph.codes) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_initial_state_code(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        # Initially both signals are low (a+ fires first from 0).
+        assert graph.code_of(graph.initial) == (0, 0)
+
+    def test_excitation(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        assert graph.excitation(graph.initial) == {"a": "+"}
+
+    def test_implied_values(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        # In the initial state b is stable low: implied value 0.
+        assert graph.implied_value(graph.initial, "b") == 0
+        # After a+, b is excited to rise: implied value 1.
+        ((_, after_a),) = graph.out_edges(graph.initial)
+        assert graph.implied_value(after_a, "b") == 1
+
+
+class TestConcurrent:
+    def test_diamond_states(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        # a, x, y, z: cycle with one concurrency diamond in each phase.
+        assert graph.num_states == 10
+        assert graph.signals == ("a", "x", "y", "z")
+
+    def test_concurrent_transition_count(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        assert graph.concurrent_transition_count() == 2
+
+
+class TestChoice:
+    def test_states(self):
+        graph = build_state_graph(parse_g(CHOICE))
+        assert graph.num_states == 7
+        assert graph.check_deterministic() is None
+
+    def test_initial_enables_both_inputs(self):
+        graph = build_state_graph(parse_g(CHOICE))
+        assert graph.excitation(graph.initial) == {"a": "+", "b": "+"}
+
+
+class TestInference:
+    def test_values_total(self):
+        stg = parse_g(CSC_CONFLICT)
+        reach = reachability_graph(stg.net)
+        values = infer_signal_values(stg, reach)
+        for marking in reach.markings:
+            assert set(values[marking]) == set(stg.signals)
+
+    def test_inconsistent_stg_raises(self):
+        text = """
+.model bad
+.inputs a
+.outputs b
+.graph
+a+ b+/1
+b+/1 b+/2
+b+/2 a-
+a- a+
+.marking { <a-,a+> }
+.end
+"""
+        with pytest.raises(InconsistentStgError):
+            build_state_graph(parse_g(text))
+
+    def test_dead_signal_raises(self):
+        text = """
+.model deadsig
+.inputs a
+.outputs b c
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+pdead c+
+c+ c-
+c- pdead
+.marking { <b-,a+> }
+.end
+"""
+        with pytest.raises(InconsistentStgError, match="never fires"):
+            build_state_graph(parse_g(text))
+
+
+class TestDummyContraction:
+    TEXT = """
+.model withdummy
+.inputs a
+.outputs b
+.dummy eps
+.graph
+a+ eps
+eps b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+
+    def test_dummies_contracted_by_default(self):
+        graph = build_state_graph(parse_g(self.TEXT))
+        assert all(label is not EPSILON for _s, label, _t in graph.edges)
+        assert graph.num_states == 4
+
+    def test_dummies_kept_on_request(self):
+        graph = build_state_graph(
+            parse_g(self.TEXT), contract_dummies=False
+        )
+        assert any(label is EPSILON for _s, label, _t in graph.edges)
+        assert graph.num_states == 5

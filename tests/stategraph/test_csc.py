@@ -1,0 +1,100 @@
+"""Unit tests for CSC conflict detection and lower bounds."""
+
+import math
+
+from repro.stg import parse_g
+from repro.stategraph import (
+    build_state_graph,
+    code_classes,
+    csc_conflicts,
+    csc_lower_bound,
+    max_csc,
+    paper_lower_bound,
+    quotient,
+    usc_pairs,
+)
+
+from tests.example_stgs import CHOICE, CONCURRENT, CSC_CONFLICT, HANDSHAKE
+
+
+class TestCleanGraphs:
+    def test_handshake_has_no_conflicts(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        assert usc_pairs(graph) == []
+        assert csc_conflicts(graph) == []
+        assert max_csc(graph) == 1
+        assert paper_lower_bound(graph) == 0
+        assert csc_lower_bound(graph) == 0
+
+    def test_concurrent_has_no_conflicts(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        assert csc_conflicts(graph) == []
+
+
+class TestUscVersusCsc:
+    def test_choice_has_usc_pair_but_no_csc_conflict(self):
+        graph = build_state_graph(parse_g(CHOICE))
+        # The two post-input-fall states share code 001 but both excite
+        # only c-: a USC violation that is not a CSC violation.
+        assert len(usc_pairs(graph)) == 1
+        assert csc_conflicts(graph) == []
+        assert max_csc(graph) == 2
+        assert paper_lower_bound(graph) == 1  # the paper's coarse bound
+        assert csc_lower_bound(graph) == 0  # the refined bound
+
+
+class TestConflictDetection:
+    def test_conflict_found(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        conflicts = csc_conflicts(graph)
+        assert len(conflicts) == 1
+        (a, b) = conflicts[0]
+        assert a != b
+        assert graph.code_of(a) == graph.code_of(b)
+
+    def test_conflict_is_about_c(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        assert csc_conflicts(graph, outputs=["c"])
+        assert csc_conflicts(graph, outputs=["b"]) == []
+
+    def test_lower_bounds(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        assert max_csc(graph) == 2
+        assert paper_lower_bound(graph) == 1
+        assert csc_lower_bound(graph) == 1
+
+    def test_extra_codes_resolve_conflict(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        ((a, b),) = csc_conflicts(graph)
+        extra = [(0,)] * graph.num_states
+        extra[b] = (1,)
+        assert csc_conflicts(graph, extra_codes=extra) == []
+        assert csc_lower_bound(graph, extra_codes=extra) == 0
+
+    def test_code_classes_partition_states(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        classes = code_classes(graph)
+        total = sum(len(states) for states in classes.values())
+        assert total == graph.num_states
+
+
+class TestQuotientConflicts:
+    def test_hiding_trigger_creates_intrinsic_ambiguity(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        # b- triggers c+: hiding b merges the state that excites c+ with
+        # the state before b-, where c's implied value is still 0.
+        q = quotient(graph, hidden_signals=["b"])
+        assert any(q.is_ambiguous(s, "c") for s in q.states())
+        conflicts = csc_conflicts(q, outputs=["c"])
+        assert any(a == b for a, b in conflicts)  # intrinsic
+        assert any(a != b for a, b in conflicts)  # and a cross-state pair
+        assert csc_lower_bound(q, outputs=["c"]) == math.inf
+
+    def test_hiding_everything_else_is_maximally_ambiguous(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        q = quotient(graph, hidden_signals=["a", "b"])
+        assert q.graph.num_states == 2  # c=0 region and c=1 region
+        merged = [s for s in q.states() if len(q.blocks[s]) > 1]
+        assert merged
+        assert any(q.is_ambiguous(s, "c") for s in merged)
+        assert csc_lower_bound(q, outputs=["c"]) == math.inf

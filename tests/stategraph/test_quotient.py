@@ -1,0 +1,84 @@
+"""Unit tests for the ε-merging quotient."""
+
+import pytest
+
+from repro.stg import parse_g
+from repro.stategraph import EPSILON, build_state_graph, quotient
+
+from tests.example_stgs import CONCURRENT, CSC_CONFLICT, HANDSHAKE
+
+
+class TestBasicQuotient:
+    def test_empty_hide_is_identity(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        q = quotient(graph, hidden_signals=())
+        assert q.graph.num_states == graph.num_states
+        assert q.graph.num_edges == graph.num_edges
+        assert q.cover == list(range(graph.num_states))
+
+    def test_hide_one_signal_of_handshake(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        q = quotient(graph, hidden_signals=["b"])
+        # Hiding b folds the 4-cycle into the 2-cycle of a alone.
+        assert q.graph.signals == ("a",)
+        assert q.graph.num_states == 2
+        assert {q.graph.code_of(s) for s in q.states()} == {(0,), (1,)}
+        labels = {label for _s, label, _t in q.graph.edges}
+        assert labels == {("a", "+"), ("a", "-")}
+
+    def test_cover_map_is_total_and_consistent(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        q = quotient(graph, hidden_signals=["b"])
+        assert len(q.cover) == graph.num_states
+        for state in graph.states():
+            assert state in q.blocks[q.cover[state]]
+
+    def test_blocks_partition_states(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        q = quotient(graph, hidden_signals=["x", "y"])
+        seen = sorted(s for block in q.blocks for s in block)
+        assert seen == list(graph.states())
+
+    def test_initial_state_covered(self):
+        graph = build_state_graph(parse_g(CSC_CONFLICT))
+        q = quotient(graph, hidden_signals=["b"])
+        assert q.graph.initial == q.cover[graph.initial]
+
+    def test_unknown_signal_rejected(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        with pytest.raises(ValueError):
+            quotient(graph, hidden_signals=["zz"])
+
+
+class TestQuotientSemantics:
+    def test_no_epsilon_edges_remain(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        q = quotient(graph, hidden_signals=["x"])
+        assert all(label is not EPSILON for _s, label, _t in q.graph.edges)
+
+    def test_hidden_bits_dropped_from_codes(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        q = quotient(graph, hidden_signals=["x", "y"])
+        assert q.graph.signals == ("a", "z")
+        for state in q.states():
+            assert len(q.code_of(state)) == 2
+
+    def test_non_inputs_updated(self):
+        graph = build_state_graph(parse_g(CONCURRENT))
+        q = quotient(graph, hidden_signals=["x"])
+        assert q.graph.non_inputs == frozenset({"y", "z"})
+
+    def test_implied_values_singleton_when_unambiguous(self):
+        graph = build_state_graph(parse_g(HANDSHAKE))
+        q = quotient(graph, hidden_signals=())
+        for state in q.states():
+            assert len(q.implied_values(state, "b")) == 1
+
+    def test_edges_deduplicated(self):
+        # Hiding x and y in the concurrent example folds the two
+        # interleavings onto single macro edges.
+        graph = build_state_graph(parse_g(CONCURRENT))
+        q = quotient(graph, hidden_signals=["x", "y"])
+        # Macro cycle: a+ z+ a- z- over 4 macro states.
+        assert q.graph.num_states == 4
+        assert q.graph.num_edges == 4

@@ -1,0 +1,136 @@
+"""Unit tests for repro.stg.model."""
+
+import pytest
+
+from repro.stg import (
+    SignalTransitionGraph,
+    SignalType,
+    StgError,
+    StgValidationError,
+    TransitionLabel,
+    parse_g,
+)
+from repro.stg.model import DUMMY, FALL, RISE
+from repro.petrinet import PetriNet
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+class TestTransitionLabel:
+    def test_parse_rise(self):
+        label = TransitionLabel.parse("req+")
+        assert label.signal == "req"
+        assert label.is_rise and not label.is_fall
+        assert label.instance == 1
+
+    def test_parse_fall_with_instance(self):
+        label = TransitionLabel.parse("ack-/3")
+        assert label.signal == "ack"
+        assert label.is_fall
+        assert label.instance == 3
+
+    def test_parse_bare_name_is_dummy(self):
+        assert TransitionLabel.parse("eps").is_dummy
+
+    def test_str_roundtrip(self):
+        assert str(TransitionLabel.parse("a+/2")) == "a+/2"
+        assert str(TransitionLabel.parse("a+")) == "a+"
+        assert str(TransitionLabel(None, DUMMY)) == "~"
+
+    def test_bad_instance(self):
+        with pytest.raises(StgError):
+            TransitionLabel.parse("a+/x")
+
+    def test_instance_must_be_positive(self):
+        with pytest.raises(StgError):
+            TransitionLabel("a", RISE, 0)
+
+    def test_dummy_needs_no_signal(self):
+        with pytest.raises(StgError):
+            TransitionLabel("a", DUMMY)
+        with pytest.raises(StgError):
+            TransitionLabel(None, RISE)
+
+    def test_equality_and_hash(self):
+        assert TransitionLabel("a", RISE) == TransitionLabel.parse("a+")
+        assert TransitionLabel("a", RISE) != TransitionLabel("a", FALL)
+        assert hash(TransitionLabel("a", RISE)) == hash(
+            TransitionLabel.parse("a+")
+        )
+
+
+class TestSignalViews:
+    def test_partition(self):
+        stg = parse_g(CSC_CONFLICT)
+        assert stg.inputs == ["a"]
+        assert stg.outputs == ["b", "c"]
+        assert stg.internals == []
+        assert stg.non_inputs == ["b", "c"]
+        assert stg.signals == ["a", "b", "c"]
+
+    def test_signal_type(self):
+        stg = parse_g(CSC_CONFLICT)
+        assert stg.signal_type("a") is SignalType.INPUT
+        assert stg.signal_type("b") is SignalType.OUTPUT
+        with pytest.raises(StgError):
+            stg.signal_type("zz")
+
+    def test_transitions_of(self):
+        stg = parse_g(HANDSHAKE)
+        assert stg.transitions_of("a") == ["a+", "a-"]
+        assert stg.transitions_of("a", RISE) == ["a+"]
+
+    def test_label_lookup(self):
+        stg = parse_g(HANDSHAKE)
+        assert stg.label("a+").signal == "a"
+        with pytest.raises(StgError):
+            stg.label("nope")
+
+
+class TestCausalStructure:
+    def test_triggers(self):
+        stg = parse_g(HANDSHAKE)
+        assert stg.triggers("b") == ["a"]
+        assert stg.triggers("a") == ["b"]
+
+    def test_immediate_input_set(self):
+        stg = parse_g(CSC_CONFLICT)
+        # b+ is caused by a+, b- by a-.
+        assert stg.immediate_input_set("b") == ["a"]
+        # c+ is caused by b-, c- by c+ (self excluded).
+        assert stg.immediate_input_set("c") == ["b"]
+
+    def test_immediate_input_set_rejects_inputs(self):
+        stg = parse_g(CSC_CONFLICT)
+        with pytest.raises(StgError):
+            stg.immediate_input_set("a")
+
+
+class TestValidationAtConstruction:
+    def _net(self):
+        return PetriNet(
+            ["p"], ["a+"], [("p", "a+"), ("a+", "p")], ["p"]
+        )
+
+    def test_unlabelled_transition_rejected(self):
+        with pytest.raises(StgValidationError):
+            SignalTransitionGraph(
+                self._net(), {"a": SignalType.INPUT}, {}
+            )
+
+    def test_label_for_unknown_transition_rejected(self):
+        labels = {
+            "a+": TransitionLabel("a", RISE),
+            "ghost": TransitionLabel("a", FALL),
+        }
+        with pytest.raises(StgValidationError):
+            SignalTransitionGraph(
+                self._net(), {"a": SignalType.INPUT}, labels
+            )
+
+    def test_undeclared_signal_rejected(self):
+        labels = {"a+": TransitionLabel("b", RISE)}
+        with pytest.raises(StgValidationError):
+            SignalTransitionGraph(
+                self._net(), {"a": SignalType.INPUT}, labels
+            )

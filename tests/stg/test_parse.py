@@ -1,0 +1,141 @@
+"""Unit tests for the .g parser."""
+
+import pytest
+
+from repro.petrinet.builder import implicit_place_name
+from repro.stg import GFormatError, parse_g, parse_g_file
+
+from tests.example_stgs import ALL, CHOICE, HANDSHAKE
+
+
+def test_parse_handshake():
+    stg = parse_g(HANDSHAKE)
+    assert stg.name == "handshake"
+    assert stg.inputs == ["a"]
+    assert stg.outputs == ["b"]
+    net = stg.net
+    assert net.transitions == frozenset({"a+", "a-", "b+", "b-"})
+    assert len(net.places) == 4  # all implicit
+    assert net.initial_marking[implicit_place_name("b-", "a+")] == 1
+
+
+def test_parse_instances_and_explicit_places():
+    stg = parse_g(CHOICE)
+    assert "c+/1" in stg.net.transitions
+    assert "c+/2" in stg.net.transitions
+    assert "p0" in stg.net.places
+    assert stg.label("c+/1").signal == "c"
+    assert stg.label("c+/1").instance == 1
+    assert stg.label("c+/2").instance == 2
+    assert stg.net.initial_marking["p0"] == 1
+
+
+def test_all_examples_parse():
+    for name, text in ALL.items():
+        stg = parse_g(text)
+        assert stg.name == name
+
+
+def test_comments_and_blank_lines_ignored():
+    text = HANDSHAKE.replace(".graph", "# a comment\n\n.graph")
+    assert parse_g(text).name == "handshake"
+
+
+def test_parse_g_file(tmp_path):
+    path = tmp_path / "hs.g"
+    path.write_text(HANDSHAKE)
+    assert parse_g_file(path).name == "handshake"
+
+
+def test_dummy_transitions():
+    text = """
+.model withdummy
+.inputs a
+.outputs b
+.dummy eps
+.graph
+a+ eps
+eps b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+    stg = parse_g(text)
+    assert stg.dummy_transitions() == ["eps"]
+    assert stg.label("eps").is_dummy
+
+
+def test_marking_with_token_count():
+    text = """
+.model counted
+.inputs a
+.outputs b
+.graph
+pp a+
+a+ b+
+b+ a-
+a- b-
+b- pp
+.marking { pp=1 }
+.end
+"""
+    stg = parse_g(text)
+    assert stg.net.initial_marking["pp"] == 1
+
+
+class TestErrors:
+    def test_unknown_directive(self):
+        with pytest.raises(GFormatError, match="unknown directive"):
+            parse_g(".bogus x\n.graph\na+ b+\n.end")
+
+    def test_duplicate_signal(self):
+        text = HANDSHAKE.replace(".outputs b", ".outputs b\n.internal b")
+        with pytest.raises(GFormatError, match="declared twice"):
+            parse_g(text)
+
+    def test_missing_graph(self):
+        with pytest.raises(GFormatError, match="missing .graph"):
+            parse_g(".model x\n.end")
+
+    def test_missing_end(self):
+        with pytest.raises(GFormatError, match="missing .end"):
+            parse_g(".model x\n.graph\na b\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(GFormatError, match="after .end"):
+            parse_g(HANDSHAKE + "\n.graph")
+
+    def test_graph_line_needs_target(self):
+        text = HANDSHAKE.replace("a+ b+", "a+")
+        with pytest.raises(GFormatError, match="at least one target"):
+            parse_g(text)
+
+    def test_marking_unknown_place(self):
+        text = HANDSHAKE.replace("<b-,a+>", "<a+,a->")
+        with pytest.raises(GFormatError, match="unknown place"):
+            parse_g(text)
+
+    def test_unbalanced_marking_brackets(self):
+        text = HANDSHAKE.replace("{ <b-,a+> }", "{ <b-,a+ }")
+        with pytest.raises(GFormatError):
+            parse_g(text)
+
+    def test_marking_needs_braces(self):
+        text = HANDSHAKE.replace("{ <b-,a+> }", "<b-,a+>")
+        with pytest.raises(GFormatError, match="must be"):
+            parse_g(text)
+
+    def test_duplicate_arc(self):
+        text = HANDSHAKE.replace("a+ b+", "a+ b+\na+ b+")
+        with pytest.raises(GFormatError):
+            parse_g(text)
+
+    def test_model_name_arity(self):
+        with pytest.raises(GFormatError):
+            parse_g(".model a b\n.graph\nx y\n.end")
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(GFormatError, match="line 1"):
+            parse_g(".bogus")

@@ -1,0 +1,75 @@
+"""Unit tests for repro.stg.transform."""
+
+import pytest
+
+from repro.stg import (
+    SignalType,
+    StgError,
+    hide_signals,
+    mirror_signals,
+    parse_g,
+    rename_signals,
+)
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+class TestHideSignals:
+    def test_hidden_transitions_become_dummies(self):
+        stg = parse_g(CSC_CONFLICT)
+        hidden = hide_signals(stg, ["b"])
+        assert hidden.label("b+").is_dummy
+        assert hidden.label("b-").is_dummy
+        assert not hidden.label("a+").is_dummy
+
+    def test_declaration_dropped_by_default(self):
+        stg = parse_g(CSC_CONFLICT)
+        hidden = hide_signals(stg, ["b"])
+        assert hidden.signals == ["a", "c"]
+
+    def test_declaration_kept_on_request(self):
+        stg = parse_g(CSC_CONFLICT)
+        hidden = hide_signals(stg, ["b"], drop_declarations=False)
+        assert hidden.signals == ["a", "b", "c"]
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(StgError):
+            hide_signals(parse_g(HANDSHAKE), ["zz"])
+
+    def test_original_unchanged(self):
+        stg = parse_g(CSC_CONFLICT)
+        hide_signals(stg, ["b"])
+        assert not stg.label("b+").is_dummy
+
+
+class TestRenameSignals:
+    def test_rename(self):
+        stg = rename_signals(parse_g(HANDSHAKE), {"a": "req", "b": "ack"})
+        assert stg.inputs == ["req"]
+        assert stg.outputs == ["ack"]
+        assert stg.label("a+").signal == "req"
+
+    def test_partial_rename(self):
+        stg = rename_signals(parse_g(HANDSHAKE), {"a": "req"})
+        assert stg.signals == ["b", "req"]
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(StgError):
+            rename_signals(parse_g(HANDSHAKE), {"a": "b"})
+
+
+class TestMirrorSignals:
+    def test_full_mirror(self):
+        stg = mirror_signals(parse_g(HANDSHAKE))
+        assert stg.signal_type("a") is SignalType.OUTPUT
+        assert stg.signal_type("b") is SignalType.INPUT
+
+    def test_partial_mirror(self):
+        stg = mirror_signals(parse_g(CSC_CONFLICT), ["c"])
+        assert stg.signal_type("c") is SignalType.INPUT
+        assert stg.signal_type("b") is SignalType.OUTPUT
+
+    def test_internal_untouched(self):
+        text = CSC_CONFLICT.replace(".outputs b c", ".outputs b\n.internal c")
+        stg = mirror_signals(parse_g(text))
+        assert stg.signal_type("c") is SignalType.INTERNAL

@@ -1,0 +1,50 @@
+"""Round-trip tests for the .g writer."""
+
+from repro.stg import parse_g, write_g
+from repro.stategraph import build_state_graph
+
+from tests.example_stgs import ALL
+
+
+def _graph_fingerprint(stg):
+    """A behavioural fingerprint: state codes and labelled edge multiset."""
+    graph = build_state_graph(stg)
+    return (
+        sorted(graph.codes),
+        sorted(
+            (graph.codes[s], label, graph.codes[t])
+            for s, label, t in graph.edges
+        ),
+    )
+
+
+def test_roundtrip_preserves_behaviour():
+    for name, text in ALL.items():
+        original = parse_g(text)
+        reparsed = parse_g(write_g(original))
+        assert reparsed.name == original.name
+        assert reparsed.inputs == original.inputs
+        assert reparsed.outputs == original.outputs
+        assert _graph_fingerprint(reparsed) == _graph_fingerprint(original)
+
+
+def test_written_text_shape():
+    text = write_g(parse_g(ALL["handshake"]))
+    assert text.startswith(".model handshake")
+    assert ".inputs a" in text
+    assert ".outputs b" in text
+    assert text.rstrip().endswith(".end")
+
+
+def test_explicit_places_survive():
+    text = write_g(parse_g(ALL["choice"]))
+    assert "p0" in text
+    reparsed = parse_g(text)
+    assert "p0" in reparsed.net.places
+
+
+def test_double_roundtrip_stable():
+    for text in ALL.values():
+        once = write_g(parse_g(text))
+        twice = write_g(parse_g(once))
+        assert once == twice

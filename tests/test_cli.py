@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+@pytest.fixture
+def spec(tmp_path):
+    path = tmp_path / "spec.g"
+    path.write_text(CSC_CONFLICT)
+    return str(path)
+
+
+def test_default_run(spec, capsys):
+    assert main([spec]) == 0
+    out = capsys.readouterr().out
+    assert "csc-ex" in out
+    assert "conformance verified" in out
+    assert " = " in out  # equations printed
+
+
+def test_quiet(spec, capsys):
+    assert main([spec, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert " = " not in out
+
+
+def test_methods(spec, capsys):
+    for method in ("modular", "direct", "lavagno"):
+        assert main([spec, "--method", method, "--quiet"]) == 0
+        assert method in capsys.readouterr().out
+
+
+def test_engines(spec, capsys):
+    for engine in ("dpll", "cdcl", "bdd"):
+        assert main([spec, "--engine", engine, "--quiet"]) == 0
+        assert engine in capsys.readouterr().out
+
+
+def test_blif_output(spec, tmp_path, capsys):
+    out_path = tmp_path / "out.blif"
+    assert main([spec, "--blif", str(out_path), "--quiet"]) == 0
+    text = out_path.read_text()
+    assert text.startswith(".model csc-ex")
+    assert ".names" in text
+
+
+def test_no_verify(tmp_path, capsys):
+    path = tmp_path / "hs.g"
+    path.write_text(HANDSHAKE)
+    assert main([str(path), "--no-verify", "--quiet"]) == 0
+    assert "verified" not in capsys.readouterr().out
+
+
+def test_bad_method_rejected(spec):
+    with pytest.raises(SystemExit):
+        main([spec, "--method", "quantum"])

@@ -1,0 +1,66 @@
+"""Unit tests for the gate-level circuit model."""
+
+import pytest
+
+from repro.csc import modular_synthesis
+from repro.logic.cover import Cover
+from repro.stg import parse_g
+from repro.verify import Circuit
+
+from tests.example_stgs import HANDSHAKE
+
+
+def simple_circuit():
+    """b = a over the vector (a, b)."""
+    return Circuit(
+        signals=("a", "b"),
+        inputs=["a"],
+        covers={"b": Cover.from_strings(2, ["1-"])},
+    )
+
+
+class TestConstruction:
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(("a",), ["zz"], {"a": Cover(1)})
+
+    def test_missing_cover_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(("a", "b"), ["a"], {})
+
+    def test_cover_width_checked(self):
+        with pytest.raises(ValueError):
+            Circuit(
+                ("a", "b"), ["a"], {"b": Cover.from_strings(3, ["1--"])}
+            )
+
+    def test_from_synthesis(self):
+        stg = parse_g(HANDSHAKE)
+        result = modular_synthesis(stg)
+        circuit = Circuit.from_synthesis(result, stg.inputs)
+        assert circuit.signals == result.expanded.signals
+        assert set(circuit.inputs) == {"a"}
+
+    def test_from_synthesis_needs_covers(self):
+        stg = parse_g(HANDSHAKE)
+        result = modular_synthesis(stg, minimize=False)
+        with pytest.raises(ValueError):
+            Circuit.from_synthesis(result, stg.inputs)
+
+
+class TestEvaluation:
+    def test_next_value(self):
+        circuit = simple_circuit()
+        assert circuit.next_value("b", (1, 0)) == 1
+        assert circuit.next_value("b", (0, 1)) == 0
+
+    def test_excited(self):
+        circuit = simple_circuit()
+        assert circuit.excited((1, 0)) == ["b"]
+        assert circuit.excited((1, 1)) == []
+        assert circuit.excited((0, 1)) == ["b"]
+
+    def test_fire_toggles(self):
+        circuit = simple_circuit()
+        assert circuit.fire((1, 0), "b") == (1, 1)
+        assert circuit.fire((1, 1), "a") == (0, 1)

@@ -1,0 +1,70 @@
+"""Developer tool: measure the benchmark specs against the paper's sizes.
+
+Prints, per benchmark: parsed signal count, state-graph size, CSC conflict
+count, and the paper's target specification columns.  Used while tuning
+``repro/bench/specs.py``; not part of the installed package.
+"""
+
+import sys
+import time
+
+from repro.bench.specs import SPEC_BUILDERS, generate
+from repro.stg import parse_g, validate_stg
+from repro.stategraph import build_state_graph, csc_conflicts, csc_lower_bound
+
+# Paper Table 1 "Specifications" columns: (initial states, initial signals,
+# final signals for Our Method).
+PAPER = {
+    "mr0": (302, 11, 14),
+    "mr1": (190, 8, 12),
+    "mmu0": (174, 8, 11),
+    "mmu1": (82, 8, 10),
+    "sbuf-ram-write": (58, 10, 12),
+    "vbe4a": (58, 6, 8),
+    "nak-pa": (56, 9, 10),
+    "pe-rcv-ifc-fc": (46, 8, 9),
+    "ram-read-sbuf": (36, 10, 11),
+    "alex-nonfc": (24, 6, 7),
+    "sbuf-send-pkt2": (21, 6, 7),
+    "sbuf-send-ctl": (20, 6, 8),
+    "atod": (20, 6, 7),
+    "pa": (18, 4, 6),
+    "alloc-outbound": (17, 7, 9),
+    "wrdata": (16, 4, 5),
+    "fifo": (16, 4, 5),
+    "sbuf-read-ctl": (14, 6, 7),
+    "nouse": (12, 3, 4),
+    "vbe-ex2": (8, 2, 4),
+    "nousc-ser": (8, 3, 4),
+    "sendr-done": (7, 3, 4),
+    "vbe-ex1": (5, 2, 3),
+}
+
+
+def main(names=None):
+    names = names or list(SPEC_BUILDERS)
+    print(
+        f"{'name':16} {'sig':>4} {'tgt':>4} {'states':>7} {'tgt':>5} "
+        f"{'confl':>6} {'lb':>3} {'time':>6}"
+    )
+    for name in names:
+        target_states, target_signals, _final = PAPER[name]
+        started = time.perf_counter()
+        try:
+            stg = parse_g(generate(name))
+            validate_stg(stg, require_live=True)
+            graph = build_state_graph(stg)
+            conflicts = len(csc_conflicts(graph))
+            bound = csc_lower_bound(graph)
+            elapsed = time.perf_counter() - started
+            print(
+                f"{name:16} {len(stg.signals):>4} {target_signals:>4} "
+                f"{graph.num_states:>7} {target_states:>5} "
+                f"{conflicts:>6} {bound:>3} {elapsed:>6.2f}"
+            )
+        except Exception as exc:  # noqa: BLE001 - tuning tool
+            print(f"{name:16} ERROR: {type(exc).__name__}: {exc}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or None)
