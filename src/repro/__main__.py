@@ -13,9 +13,18 @@ Options:
 
 ``--method modular|direct|lavagno``   synthesis method (default modular)
 ``--engine hybrid|dpll|cdcl|bdd``     SAT engine (default hybrid)
+``--timeout SECONDS``                 global wall-clock budget
+``--max-states N``                    cap on generated state-graph states
+``--no-fallback``                     disable engine escalation and
+                                      per-module degradation
 ``--blif PATH``                       write the circuit netlist
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
+
+Exit codes: ``0`` success, ``1`` error (bad input, failed synthesis or
+verification), ``2`` success with degradation (some output needed a
+fallback pass, or verification was skipped at the deadline), ``3``
+budget exhausted (partial per-module results on stderr).
 """
 
 from __future__ import annotations
@@ -23,17 +32,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.baselines import lavagno_synthesis
-from repro.csc import direct_synthesis, modular_synthesis
+from repro.errors import ReproError
 from repro.logic import equations, write_synthesis_blif
+from repro.runtime.budget import Budget
+from repro.runtime.report import RUN_ERROR, RUN_TIMEOUT
+from repro.runtime.run import run_synthesis
 from repro.stg import parse_g_file, validate_stg
 from repro.verify import verify_synthesis
 
-_METHODS = {
-    "modular": modular_synthesis,
-    "direct": direct_synthesis,
-    "lavagno": lavagno_synthesis,
-}
+_METHODS = ("modular", "direct", "lavagno")
 
 
 def main(argv=None):
@@ -49,28 +56,66 @@ def main(argv=None):
         "--engine", choices=["hybrid", "dpll", "cdcl", "bdd"],
         default="hybrid",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="global wall-clock budget for the whole run",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="abort when a state graph exceeds N states",
+    )
+    parser.add_argument(
+        "--no-fallback", action="store_true",
+        help="disable the engine-fallback ladder and module degradation",
+    )
     parser.add_argument("--blif", metavar="PATH", default=None)
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
-    stg = parse_g_file(args.spec)
-    validate_stg(stg)
+    try:
+        stg = parse_g_file(args.spec)
+        validate_stg(stg)
+    except OSError as exc:
+        print(f"error: cannot read {args.spec}: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {args.spec}: {exc.describe()}", file=sys.stderr)
+        return 1
 
-    synthesise = _METHODS[args.method]
-    result = synthesise(stg, engine=args.engine)
+    budget = Budget(max_seconds=args.timeout, max_states=args.max_states)
+    report = run_synthesis(
+        stg, method=args.method, engine=args.engine, budget=budget,
+        fallback=not args.no_fallback,
+    )
 
+    if report.status == RUN_ERROR:
+        print(f"error: {report.error.describe()}", file=sys.stderr)
+        return 1
+    if report.status == RUN_TIMEOUT:
+        print(f"timeout: {report.summary()}", file=sys.stderr)
+        _print_modules(report)
+        return 3
+
+    result = report.result
+    degraded = bool(report.degraded_modules or report.skipped_modules)
     verified = ""
     if not args.no_verify:
-        report = verify_synthesis(result, stg)
-        if not report.conforms:
-            print(
-                f"error: synthesised circuit does not conform: "
-                f"{report.violations[:3]}",
-                file=sys.stderr,
-            )
-            return 1
-        verified = ", conformance verified"
+        if budget.expired():
+            # Synthesis finished on the wire; a model check would push
+            # the run past its promised deadline.
+            verified = ", verify skipped (deadline)"
+            degraded = True
+        else:
+            check = verify_synthesis(result, stg)
+            if not check.conforms:
+                print(
+                    f"error: synthesised circuit does not conform: "
+                    f"{check.violations[:3]}",
+                    file=sys.stderr,
+                )
+                return 1
+            verified = ", conformance verified"
 
     print(
         f"{stg.name}: {result.initial_states} -> {result.final_states} "
@@ -87,7 +132,21 @@ def main(argv=None):
         with open(args.blif, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.blif}")
+
+    if degraded:
+        print(f"degraded: {report.summary()}", file=sys.stderr)
+        _print_modules(report, only_degraded=True)
+        return 2
     return 0
+
+
+def _print_modules(report, only_degraded=False):
+    """Per-module statuses on stderr (partial results / degradations)."""
+    for module in report.modules:
+        if only_degraded and module.status == "ok":
+            continue
+        detail = f" ({module.detail})" if module.detail else ""
+        print(f"  {module.output}: {module.status}{detail}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -13,12 +13,16 @@ extraction.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 FALSE = 0
 TRUE = 1
 
 
-class BddOverflowError(RuntimeError):
+class BddOverflowError(ReproError, RuntimeError):
     """The node table grew past the configured capacity."""
+
+    kind = "bdd-overflow"
 
 
 class BddManager:

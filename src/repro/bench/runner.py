@@ -20,12 +20,16 @@ class MethodRow:
     """Measured results of one method on one benchmark.
 
     Mirrors a Table-1 cell group: final states/signals, two-level area,
-    CPU time, or an abort note.
+    CPU time, or an abort note.  The robustness columns
+    (``backtracks``, ``escalations``, ``degraded``/``skipped`` module
+    counts) let perf PRs track budget consumption and degradation
+    regressions alongside timing.
     """
 
     def __init__(self, benchmark, method, initial_states, initial_signals,
                  final_states=None, final_signals=None, area=None,
-                 cpu=None, note=None, formula_sizes=()):
+                 cpu=None, note=None, formula_sizes=(), backtracks=0,
+                 escalations=0, degraded=0, skipped=0):
         self.benchmark = benchmark
         self.method = method
         self.initial_states = initial_states
@@ -36,6 +40,14 @@ class MethodRow:
         self.cpu = cpu
         self.note = note
         self.formula_sizes = list(formula_sizes)
+        #: Total SAT backtracks consumed across every formula.
+        self.backtracks = backtracks
+        #: Engine-ladder escalations recorded by the solves.
+        self.escalations = escalations
+        #: Modules that fell back to a per-output direct sub-solve.
+        self.degraded = degraded
+        #: Modules left entirely to the verify-and-repair pass.
+        self.skipped = skipped
 
     @property
     def completed(self):
@@ -61,10 +73,26 @@ def _base_counts(name, graph=None):
     return stg, graph
 
 
-def run_modular(name, minimize=True, graph=None, engine="hybrid"):
+def _attempt_stats(attempts):
+    """Total (backtracks, escalations) across solver attempts."""
+    backtracks = sum(attempt.backtracks for attempt in attempts)
+    escalations = sum(1 for attempt in attempts if attempt.escalated)
+    return backtracks, escalations
+
+
+def run_modular(name, minimize=True, graph=None, engine="hybrid",
+                budget=None, fallback=False):
     """Run the paper's method on one benchmark."""
     stg, graph = _base_counts(name, graph)
-    result = modular_synthesis(graph, minimize=minimize, engine=engine)
+    result = modular_synthesis(
+        graph, minimize=minimize, engine=engine, budget=budget,
+        fallback=fallback, degrade=fallback,
+    )
+    attempts = [
+        attempt for module in result.modules for attempt in module.attempts
+    ] + list(result.repair_attempts)
+    backtracks, _ = _attempt_stats(attempts)
+    _, repair_escalations = _attempt_stats(result.repair_attempts)
     return MethodRow(
         name, "modular",
         initial_states=graph.num_states,
@@ -74,6 +102,10 @@ def run_modular(name, minimize=True, graph=None, engine="hybrid"):
         area=result.literals,
         cpu=result.seconds,
         formula_sizes=result.formula_sizes(),
+        backtracks=backtracks,
+        escalations=result.report.escalations + repair_escalations,
+        degraded=len(result.report.degraded_modules),
+        skipped=len(result.report.skipped_modules),
     )
 
 
@@ -104,6 +136,7 @@ def run_direct(name, limits=None, minimize=True, graph=None,
         (attempt.num_clauses, attempt.num_vars)
         for attempt in result.attempts
     ]
+    backtracks, escalations = _attempt_stats(result.attempts)
     return MethodRow(
         name, "direct",
         initial_states=graph.num_states,
@@ -113,6 +146,8 @@ def run_direct(name, limits=None, minimize=True, graph=None,
         area=result.literals,
         cpu=result.seconds,
         formula_sizes=sizes,
+        backtracks=backtracks,
+        escalations=escalations,
     )
 
 

@@ -77,7 +77,8 @@ class DirectResult:
 
 
 def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
-                     signal_prefix="csc", max_refinements=10, engine="hybrid"):
+                     signal_prefix="csc", max_refinements=10, engine="hybrid",
+                     budget=None, fallback=False):
     """Solve CSC on the whole graph with one monolithic formula.
 
     The SAT encoding constrains state *codes*; in rare corner cases the
@@ -95,9 +96,12 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
     extra_pairs = []
     attempts = []
     for _round in range(max_refinements):
+        if budget is not None:
+            budget.checkpoint("direct-solve")
         outcome = solve_state_signals(
             graph, limits=limits, max_signals=max_signals,
             extra_conflict_pairs=tuple(extra_pairs), engine=engine,
+            budget=budget, fallback=fallback,
         )
         attempts.extend(outcome.attempts)
         outcome.attempts = attempts
@@ -126,7 +130,7 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
 
 def direct_synthesis(stg, limits=None, minimize=True,
                      max_signals=DEFAULT_MAX_SIGNALS, engine="hybrid",
-                     polish=True):
+                     polish=True, budget=None, fallback=False):
     """Run the full direct flow: state graph, monolithic SAT, expansion.
 
     Parameters
@@ -149,10 +153,11 @@ def direct_synthesis(stg, limits=None, minimize=True,
     if isinstance(stg, StateGraph):
         graph = stg
     else:
-        graph = build_state_graph(stg)
+        graph = build_state_graph(stg, budget=budget)
 
     assignment, outcome, expanded = solve_csc_direct(
-        graph, limits=limits, max_signals=max_signals, engine=engine
+        graph, limits=limits, max_signals=max_signals, engine=engine,
+        budget=budget, fallback=fallback,
     )
     if polish:
         from repro.csc.polish import polish_assignment

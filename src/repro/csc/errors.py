@@ -1,8 +1,12 @@
 """Exception hierarchy for the CSC solvers."""
 
+from repro.errors import ReproError
 
-class CscError(Exception):
+
+class CscError(ReproError):
     """Base class for CSC solving errors."""
+
+    kind = "csc"
 
 
 class BacktrackLimitError(CscError):
@@ -13,8 +17,10 @@ class BacktrackLimitError(CscError):
     before the abort.
     """
 
+    kind = "backtrack-limit"
+
     def __init__(self, message, backtracks=None, seconds=None):
-        super().__init__(message)
+        super().__init__(message, backtracks=backtracks, seconds=seconds)
         self.backtracks = backtracks
         self.seconds = seconds
 
@@ -26,6 +32,10 @@ class IntrinsicConflictError(CscError):
     it indicates the input-set derivation hid a signal it must not have.
     """
 
+    kind = "intrinsic-conflict"
+
 
 class SynthesisError(CscError):
     """Synthesis failed to produce a CSC-satisfying implementation."""
+
+    kind = "synthesis"

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.csc.assignment import Assignment
 from repro.csc.errors import SynthesisError
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
+from repro.runtime.faults import should_fire as _fault_fires
 from repro.stategraph.quotient import quotient
 
 
@@ -60,7 +61,8 @@ _FALLBACK_SIGNAL_CAP = 4
 
 def partition_sat(graph, output, input_set, existing, limits=None,
                   max_signals=DEFAULT_MAX_SIGNALS, name_start=0,
-                  signal_prefix="csc", engine="hybrid"):
+                  signal_prefix="csc", engine="hybrid", budget=None,
+                  fallback=False):
     """Solve the CSC constraints of one output on its modular graph.
 
     The greedy input-set derivation only guarantees the conflict count
@@ -87,14 +89,23 @@ def partition_sat(graph, output, input_set, existing, limits=None,
     name_start:
         Index from which new state signals are numbered (state signal
         names are global across the synthesis run).
+    budget / fallback:
+        Optional run-wide :class:`~repro.runtime.budget.Budget` and the
+        engine-fallback ladder switch, forwarded to the solve loop.
 
     Returns
     -------
     PartitionResult
     """
+    if _fault_fires("module-solve", detail=output):
+        raise SynthesisError(
+            f"injected fault: modular solve failed for {output!r}"
+        )
     hidden = list(input_set.removal_order)
     last_error = None
     while True:
+        if budget is not None:
+            budget.checkpoint(f"module:{output}")
         q = quotient(graph, hidden)
         restricted = existing.restricted(input_set.kept_state_signals)
         merged = restricted.merged_over(q.blocks)
@@ -116,6 +127,8 @@ def partition_sat(graph, output, input_set, existing, limits=None,
                 max_signals=cap,
                 engine=engine,
                 on_limit="skip",
+                budget=budget,
+                fallback=fallback,
             )
         except SynthesisError as exc:
             if not hidden:

@@ -31,6 +31,13 @@ class AttemptStats:
         self.decisions = result.decisions
         self.backtracks = result.backtracks
         self.seconds = result.seconds
+        #: ``(engine, status)`` rungs when the fallback ladder escalated
+        #: this attempt, else ``()``.
+        self.escalations = tuple(getattr(result, "escalations", None) or ())
+
+    @property
+    def escalated(self):
+        return len(self.escalations) > 1
 
     def __repr__(self):
         return (
@@ -68,7 +75,7 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
                         max_signals=DEFAULT_MAX_SIGNALS,
                         extra_conflict_pairs=(), engine="hybrid",
                         on_limit="raise", conflict_pairs=None,
-                        extra_excited=None):
+                        extra_excited=None, budget=None, fallback=False):
     """Insert the fewest state signals the SAT search finds satisfiable.
 
     Parameters
@@ -89,6 +96,11 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
         behaviour), ``"skip"`` treats the attempt as unsatisfiable and
         moves on to ``m + 1`` (the modular passes prefer trying a larger
         or less aggressive instance over giving up).
+    budget / fallback:
+        Optional run-wide :class:`~repro.runtime.budget.Budget` (clips
+        every per-solve budget, pools backtracks, and adds a checkpoint
+        before each attempt) and the engine-fallback ladder switch,
+        both forwarded to :func:`repro.sat.solve_with`.
 
     Raises
     ------
@@ -160,12 +172,19 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
     variants = (False, True) if on_limit == "skip" else (True,)
     while m <= max_signals:
         for allow_serialisation in variants:
+            if budget is not None:
+                budget.checkpoint("solve-state-signals")
             formula = build_csc_formula(
                 graph, m, outputs=outputs, extra_codes=extra_codes,
                 extra_implied=extra_implied, conflict_pairs=conflicts,
                 allow_serialisation=allow_serialisation,
             )
-            result = solve_with(formula.cnf, limits, engine=engine)
+            result = solve_with(
+                formula.cnf, limits, engine=engine, fallback=fallback,
+                budget=budget,
+            )
+            if budget is not None:
+                budget.charge_backtracks(result.backtracks)
             attempts.append(
                 AttemptStats(
                     m, formula.num_vars, formula.num_clauses, result

@@ -15,12 +15,20 @@ from __future__ import annotations
 import time
 
 from repro.csc.assignment import Assignment
-from repro.csc.errors import SynthesisError
+from repro.csc.errors import CscError, SynthesisError
 from repro.csc.input_set import determine_input_set
 from repro.csc.insertion import expand
 from repro.csc.modular import partition_sat
 from repro.csc.propagate import propagate
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
+from repro.runtime.budget import BudgetExhaustedError
+from repro.runtime.report import (
+    MODULE_DEGRADED,
+    MODULE_OK,
+    MODULE_SKIPPED,
+    RUN_TIMEOUT,
+    RunReport,
+)
 from repro.stategraph.build import build_state_graph
 from repro.stategraph.csc import csc_conflicts
 from repro.stategraph.graph import StateGraph
@@ -85,7 +93,7 @@ class ModularResult:
     """
 
     def __init__(self, graph, expanded, assignment, modules,
-                 repair_attempts, covers, literals, seconds):
+                 repair_attempts, covers, literals, seconds, report=None):
         self.graph = graph
         self.expanded = expanded
         self.assignment = assignment
@@ -94,6 +102,8 @@ class ModularResult:
         self.covers = covers
         self.literals = literals
         self.seconds = seconds
+        #: Per-module :class:`~repro.runtime.report.RunReport` of the run.
+        self.report = report if report is not None else RunReport()
 
     @property
     def initial_states(self):
@@ -136,7 +146,8 @@ class ModularResult:
 
 def modular_synthesis(stg, limits=None, minimize=True,
                       max_signals=DEFAULT_MAX_SIGNALS, output_order=None,
-                      signal_prefix="csc", engine="hybrid", polish=True):
+                      signal_prefix="csc", engine="hybrid", polish=True,
+                      budget=None, fallback=False, degrade=False):
     """Synthesise an STG with the paper's modular partitioning method.
 
     Parameters
@@ -152,6 +163,22 @@ def modular_synthesis(stg, limits=None, minimize=True,
     output_order:
         Optional explicit processing order for the non-input signals;
         defaults to sorted order.
+    budget:
+        Optional run-wide :class:`~repro.runtime.budget.Budget` bounding
+        the whole call (graph construction, every solve, the repair
+        rounds).  On exhaustion the raised
+        :class:`~repro.runtime.budget.BudgetExhaustedError` carries the
+        partial per-module :class:`~repro.runtime.report.RunReport` as
+        ``exc.report``.
+    fallback:
+        Enable the engine-fallback ladder on every SAT solve.
+    degrade:
+        When true, a failed per-output modular pass does not abort the
+        run: the output falls back to a direct sub-solve on the full
+        graph (``degraded``), or is left entirely to the trailing
+        verify-and-repair rounds (``skipped``).  The outcome of every
+        module is recorded in ``result.report``; degraded/skipped
+        outputs have no :class:`ModuleReport` in ``result.modules``.
 
     Returns
     -------
@@ -163,7 +190,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
     if isinstance(stg, StateGraph):
         graph = stg
     else:
-        graph = build_state_graph(stg)
+        graph = build_state_graph(stg, budget=budget)
 
     if output_order:
         outputs = list(output_order)
@@ -173,37 +200,139 @@ def modular_synthesis(stg, limits=None, minimize=True,
     if unknown:
         raise ValueError(f"not non-input signals: {sorted(unknown)}")
 
+    report = RunReport(method="modular", engine=engine)
     assignment = Assignment.empty(graph.num_states)
     modules = []
-    for output in outputs:
-        input_set = determine_input_set(graph, output, assignment)
+    try:
+        for output in outputs:
+            if budget is not None:
+                budget.checkpoint(f"module:{output}")
+            assignment = _solve_module(
+                graph, output, assignment, modules, report,
+                limits=limits, max_signals=max_signals,
+                signal_prefix=signal_prefix, engine=engine,
+                budget=budget, fallback=fallback, degrade=degrade,
+            )
+
+        assignment, expanded, repair_attempts = _repair(
+            graph, assignment, limits, max_signals, signal_prefix, engine,
+            budget=budget, fallback=fallback,
+        )
+        if polish:
+            from repro.csc.polish import polish_assignment
+
+            if budget is not None:
+                budget.checkpoint("polish")
+            assignment = polish_assignment(graph, assignment)
+            expanded = expand(graph, assignment)
+        _assert_realizable(graph, assignment)
+
+        covers = literals = None
+        if minimize:
+            from repro.logic.extract import synthesize_logic
+
+            if budget is not None:
+                budget.checkpoint("minimize")
+            covers, literals = synthesize_logic(expanded)
+    except BudgetExhaustedError as exc:
+        # Leave a faithful partial record: everything not yet finished is
+        # skipped, and the report travels on the exception.
+        done = {entry.output for entry in report.modules}
+        for output in outputs:
+            if output not in done:
+                report.add_module(
+                    output, MODULE_SKIPPED, detail="budget exhausted"
+                )
+        report.finish(status=RUN_TIMEOUT, error=exc, budget=budget)
+        exc.report = report
+        raise
+    report.finish(budget=budget)
+    return ModularResult(
+        graph, expanded, assignment, modules, repair_attempts, covers,
+        literals, time.perf_counter() - started, report=report,
+    )
+
+
+def _solve_module(graph, output, assignment, modules, report, *,
+                  limits, max_signals, signal_prefix, engine, budget,
+                  fallback, degrade):
+    """One output's modular pass, degrading per policy on failure.
+
+    Returns the extended assignment and appends to ``modules`` /
+    ``report`` as a side effect.
+    """
+    input_set = determine_input_set(graph, output, assignment)
+    try:
         partition = partition_sat(
             graph, output, input_set, assignment, limits=limits,
             max_signals=max_signals, name_start=assignment.num_signals,
-            signal_prefix=signal_prefix, engine=engine,
+            signal_prefix=signal_prefix, engine=engine, budget=budget,
+            fallback=fallback,
         )
-        assignment = propagate(assignment, partition)
-        modules.append(ModuleReport(output, input_set, partition))
-
-    assignment, expanded, repair_attempts = _repair(
-        graph, assignment, limits, max_signals, signal_prefix, engine
+    except CscError as exc:
+        if not degrade:
+            raise
+        return _degrade_module(
+            graph, output, assignment, report, exc,
+            limits=limits, max_signals=max_signals,
+            signal_prefix=signal_prefix, engine=engine, budget=budget,
+            fallback=fallback,
+        )
+    escalations = sum(
+        1 for attempt in partition.outcome.attempts if attempt.escalated
     )
-    if polish:
-        from repro.csc.polish import polish_assignment
-
-        assignment = polish_assignment(graph, assignment)
-        expanded = expand(graph, assignment)
-    _assert_realizable(graph, assignment)
-
-    covers = literals = None
-    if minimize:
-        from repro.logic.extract import synthesize_logic
-
-        covers, literals = synthesize_logic(expanded)
-    return ModularResult(
-        graph, expanded, assignment, modules, repair_attempts, covers,
-        literals, time.perf_counter() - started,
+    assignment = propagate(assignment, partition)
+    modules.append(ModuleReport(output, input_set, partition))
+    report.add_module(
+        output, MODULE_OK, signals_added=partition.signals_added,
+        escalations=escalations,
     )
+    return assignment
+
+
+def _degrade_module(graph, output, assignment, report, cause, *,
+                    limits, max_signals, signal_prefix, engine, budget,
+                    fallback):
+    """Per-output direct sub-solve on the full graph (degraded mode).
+
+    The modular pass failed for this output; instead of aborting the
+    whole run, solve its conflicts monolithically on Σ -- the shape the
+    repair pass uses -- and record the module as ``degraded``.  If even
+    that fails, record ``skipped`` and leave the output to the trailing
+    verify-and-repair rounds.
+    """
+    try:
+        outcome = solve_state_signals(
+            graph,
+            outputs=[output],
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+            extra_excited=assignment.excitation_bits(),
+            limits=limits,
+            max_signals=max_signals,
+            engine=engine,
+            on_limit="skip",
+            budget=budget,
+            fallback=fallback,
+        )
+    except CscError as exc:
+        report.add_module(
+            output, MODULE_SKIPPED,
+            detail=f"{cause}; direct sub-solve failed: {exc}",
+        )
+        return assignment
+    names = [
+        f"{signal_prefix}{assignment.num_signals + k}"
+        for k in range(outcome.m)
+    ]
+    escalations = sum(
+        1 for attempt in outcome.attempts if attempt.escalated
+    )
+    report.add_module(
+        output, MODULE_DEGRADED, detail=str(cause),
+        signals_added=outcome.m, escalations=escalations,
+    )
+    return assignment.extended(names, outcome.rows)
 
 
 def _assert_realizable(graph, assignment):
@@ -234,7 +363,8 @@ def _default_output_order(graph):
     return sorted(keys, key=keys.get)
 
 
-def _repair(graph, assignment, limits, max_signals, signal_prefix, engine):
+def _repair(graph, assignment, limits, max_signals, signal_prefix, engine,
+            budget=None, fallback=False):
     """Resolve residual conflicts until the expanded graph satisfies CSC.
 
     Each round: expand, look for CSC violations among expanded states, map
@@ -244,6 +374,8 @@ def _repair(graph, assignment, limits, max_signals, signal_prefix, engine):
     repair_attempts = []
     extra_pairs = []
     for _round in range(_MAX_REPAIR_ROUNDS):
+        if budget is not None:
+            budget.checkpoint("repair")
         expanded, origins = expand(graph, assignment, return_origins=True)
         violations = csc_conflicts(expanded)
         if not violations:
@@ -270,6 +402,8 @@ def _repair(graph, assignment, limits, max_signals, signal_prefix, engine):
             max_signals=max_signals,
             engine=engine,
             on_limit="skip",
+            budget=budget,
+            fallback=fallback,
         )
         names = [
             f"{signal_prefix}{assignment.num_signals + k}"

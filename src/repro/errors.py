@@ -1,0 +1,49 @@
+"""The common error base of the whole reproduction.
+
+Every layer raises its own exception classes (``repro.petrinet.errors``,
+``repro.stg.errors``, ``repro.csc.errors``, the BDD manager's overflow),
+but all of them derive from :class:`ReproError` so that drivers -- the
+command line, the benchmark harness, the runtime orchestrator -- can
+catch one type and report any failure uniformly.
+
+:class:`ReproError` carries a structured ``context`` mapping alongside
+the human-readable message.  Subclasses set :attr:`ReproError.kind` to a
+short machine-readable failure class (``"g-format"``,
+``"backtrack-limit"``, ``"timeout"``, ...) used in one-line diagnostics
+and :class:`~repro.runtime.report.RunReport` entries.
+
+This module is deliberately a leaf: it must import nothing from
+:mod:`repro` so the low-level packages can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by :mod:`repro`.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    context:
+        Arbitrary machine-readable details (counts, limits, line
+        numbers).  ``None`` values are dropped.
+    """
+
+    #: Short machine-readable failure class; subclasses override.
+    kind = "error"
+
+    def __init__(self, message, **context):
+        super().__init__(message)
+        self.context = {
+            key: value for key, value in context.items() if value is not None
+        }
+
+    def describe(self):
+        """One-line diagnostic: ``kind: message (key=value, ...)``."""
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.context.items())
+        )
+        base = f"{self.kind}: {self}"
+        return f"{base} ({detail})" if detail else base

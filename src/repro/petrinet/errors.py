@@ -1,8 +1,12 @@
 """Exception hierarchy for the Petri net kernel."""
 
+from repro.errors import ReproError
 
-class PetriNetError(Exception):
+
+class PetriNetError(ReproError):
     """Base class for every error raised by :mod:`repro.petrinet`."""
+
+    kind = "petri-net"
 
 
 class NetStructureError(PetriNetError):
@@ -11,6 +15,8 @@ class NetStructureError(PetriNetError):
     Raised for arcs that reference undeclared nodes, duplicate node names,
     place/transition name collisions, and similar structural problems.
     """
+
+    kind = "net-structure"
 
 
 class UnboundedNetError(PetriNetError):
@@ -22,8 +28,10 @@ class UnboundedNetError(PetriNetError):
     reachable markings exceeds the exploration limit.
     """
 
+    kind = "unbounded-net"
+
     def __init__(self, message, markings_seen=None):
-        super().__init__(message)
+        super().__init__(message, markings_seen=markings_seen)
         #: Number of markings generated before exploration aborted, when
         #: known.  ``None`` if the error was raised before counting started.
         self.markings_seen = markings_seen

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.petrinet.errors import UnboundedNetError
+from repro.runtime.faults import should_fire as _fault_fires
 
 #: Default cap on the number of reachable markings explored before the net
 #: is declared (practically) unbounded.  The largest graph in the paper has
@@ -68,10 +69,15 @@ class ReachabilityGraph:
         return {transition for _s, transition, _t in self.edges}
 
 
+#: Markings processed between cooperative budget checkpoints.
+_CHECKPOINT_STRIDE = 256
+
+
 def reachability_graph(
     net,
     marking_limit=DEFAULT_MARKING_LIMIT,
     token_bound=DEFAULT_TOKEN_BOUND,
+    budget=None,
 ):
     """Breadth-first exploration of the reachable markings of ``net``.
 
@@ -85,23 +91,39 @@ def reachability_graph(
     token_bound:
         Abort with :class:`UnboundedNetError` as soon as any place carries
         more than this many tokens.
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget`; its wall-clock
+        deadline is checked every :data:`_CHECKPOINT_STRIDE` markings and
+        its state cap bounds the exploration alongside ``marking_limit``
+        (raising :class:`~repro.runtime.budget.BudgetExhaustedError`
+        rather than declaring the net unbounded).
 
     Returns
     -------
     ReachabilityGraph
     """
+    if _fault_fires("reachability-overflow"):
+        raise UnboundedNetError(
+            "injected fault: reachability overflow", markings_seen=0
+        )
     initial = net.initial_marking
     _check_token_bound(initial, token_bound)
     seen = {initial}
     order = [initial]
     edges = []
     queue = deque([initial])
+    processed = 0
     while queue:
         marking = queue.popleft()
+        processed += 1
+        if budget is not None and processed % _CHECKPOINT_STRIDE == 0:
+            budget.checkpoint("reachability")
         for transition in net.enabled(marking):
             successor = net.fire(marking, transition)
             _check_token_bound(successor, token_bound)
             if successor not in seen:
+                if budget is not None:
+                    budget.check_states(len(seen) + 1, point="reachability")
                 if len(seen) >= marking_limit:
                     raise UnboundedNetError(
                         f"more than {marking_limit} reachable markings; "

@@ -1,0 +1,132 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+Real budget exhaustions need pathological inputs (a 35k-clause formula, a
+200k-marking net) that make tests slow and flaky.  Instead, the pipeline
+consults this registry at a handful of **named injection points**; a test
+arms a point for a bounded number of shots and the instrumented site
+fails exactly as the real failure would -- same exception class, same
+:data:`~repro.sat.solver.LIMIT` status -- with zero cost when no fault is
+armed.
+
+Injection points
+----------------
+``solver-limit``
+    :func:`repro.sat.solve_with` returns a ``LIMIT`` result without
+    searching.  ``detail`` is the engine name, so a fault can target one
+    rung of the fallback ladder.
+``reachability-overflow``
+    :func:`repro.petrinet.reachability.reachability_graph` raises
+    :class:`~repro.petrinet.errors.UnboundedNetError` immediately.
+``bdd-blowup``
+    :func:`repro.sat.bdd_engine.solve_bdd` reports ``LIMIT`` as if the
+    node table overflowed.
+``parse-error``
+    :func:`repro.stg.parse.parse_g` raises
+    :class:`~repro.stg.errors.GFormatError`.
+``module-solve``
+    :func:`repro.csc.modular.partition_sat` raises
+    :class:`~repro.csc.errors.SynthesisError` for one output's module.
+    ``detail`` is the output signal name.
+
+This module is deliberately a leaf (no :mod:`repro` imports) so every
+layer can consult it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: The names the pipeline is instrumented with.
+POINTS = (
+    "solver-limit",
+    "reachability-overflow",
+    "bdd-blowup",
+    "parse-error",
+    "module-solve",
+)
+
+_active = {}
+
+
+class FaultSpec:
+    """One armed injection point.
+
+    Parameters
+    ----------
+    point:
+        One of :data:`POINTS`.
+    times:
+        Number of shots before the fault disarms itself (``None`` =
+        unlimited).
+    match:
+        Optional predicate on the site's ``detail`` argument; the fault
+        only fires (and only consumes a shot) when it returns true.
+    """
+
+    def __init__(self, point, times=1, match=None):
+        if point not in POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; known: {POINTS}"
+            )
+        self.point = point
+        self.remaining = times
+        self.match = match
+        #: Number of times this fault actually fired.
+        self.fired = 0
+
+    @property
+    def armed(self):
+        return self.remaining is None or self.remaining > 0
+
+    def _fire(self):
+        self.fired += 1
+        if self.remaining is not None:
+            self.remaining -= 1
+
+
+def inject(point, times=1, match=None):
+    """Arm ``point``; returns the :class:`FaultSpec` handle."""
+    spec = FaultSpec(point, times=times, match=match)
+    _active[point] = spec
+    return spec
+
+
+def clear(point=None):
+    """Disarm one point, or every point when ``point`` is ``None``."""
+    if point is None:
+        _active.clear()
+    else:
+        _active.pop(point, None)
+
+
+@contextmanager
+def injected(point, times=1, match=None):
+    """Context manager arming ``point`` for the body, disarming after."""
+    spec = inject(point, times=times, match=match)
+    try:
+        yield spec
+    finally:
+        if _active.get(point) is spec:
+            _active.pop(point, None)
+
+
+def should_fire(point, detail=None):
+    """Consult the registry at an instrumented site.
+
+    Returns True (and consumes one shot) when an armed fault matches;
+    the no-fault fast path is a single dict lookup.
+    """
+    spec = _active.get(point)
+    if spec is None or not spec.armed:
+        return False
+    if spec.match is not None and not spec.match(detail):
+        return False
+    spec._fire()
+    return True
+
+
+def active():
+    """Snapshot of the armed points (for diagnostics)."""
+    return {
+        point: spec for point, spec in _active.items() if spec.armed
+    }

@@ -1,0 +1,98 @@
+"""The budgeted synthesis orchestrator behind ``python -m repro``.
+
+:func:`run_synthesis` wraps the three synthesis methods in one uniform
+contract: it *always* produces a :class:`~repro.runtime.report.RunReport`
+-- complete on success, partial on budget exhaustion, structured on any
+:class:`~repro.errors.ReproError` -- instead of letting layer-specific
+exceptions decide the process outcome.  Only genuine bugs (non-
+``ReproError`` exceptions) propagate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.runtime.budget import Budget, BudgetExhaustedError
+from repro.runtime.report import (
+    RUN_ERROR,
+    RUN_TIMEOUT,
+    RunReport,
+)
+
+
+def run_synthesis(stg, method="modular", engine="hybrid", budget=None,
+                  fallback=True, minimize=True, limits=None):
+    """Synthesise ``stg`` under a global budget; never raise a ReproError.
+
+    Parameters
+    ----------
+    stg:
+        A :class:`~repro.stg.model.SignalTransitionGraph` or a prebuilt
+        :class:`~repro.stategraph.graph.StateGraph`.
+    method:
+        ``"modular"`` (the paper's), ``"direct"`` (Vanbekbergen-style
+        monolithic) or ``"lavagno"`` (sequential state-table baseline).
+    engine:
+        SAT engine for every solve.
+    budget:
+        :class:`~repro.runtime.budget.Budget`; ``None`` means unlimited.
+    fallback:
+        Enable the engine-fallback ladder and (for the modular method)
+        per-output graceful degradation.
+    limits:
+        Optional per-solve :class:`~repro.sat.solver.Limits` override.
+
+    Returns
+    -------
+    RunReport
+        ``report.result`` holds the method's result object when one was
+        produced; ``report.status`` / ``report.exit_code`` encode the
+        verdict (``ok``/``degraded``/``timeout``/``error``).
+    """
+    # Imported here, not at module load: these pull in the synthesis
+    # layers, which import this package's leaf modules at load time.
+    from repro.baselines import lavagno_synthesis
+    from repro.csc import direct_synthesis, modular_synthesis
+
+    if budget is None:
+        budget = Budget.unlimited()
+
+    try:
+        if method == "modular":
+            result = modular_synthesis(
+                stg, limits=limits, minimize=minimize, engine=engine,
+                budget=budget, fallback=fallback, degrade=fallback,
+            )
+            report = result.report
+        elif method == "direct":
+            result = direct_synthesis(
+                stg, limits=limits, minimize=minimize, engine=engine,
+                budget=budget, fallback=fallback,
+            )
+            report = RunReport(method=method, engine=engine)
+            report.finish(budget=budget)
+        elif method == "lavagno":
+            result = lavagno_synthesis(
+                stg, limits=limits, minimize=minimize, engine=engine
+            )
+            report = RunReport(method=method, engine=engine)
+            report.finish(budget=budget)
+        else:
+            raise ValueError(f"unknown synthesis method {method!r}")
+    except BudgetExhaustedError as exc:
+        report = exc.report
+        if report is None:
+            report = RunReport(method=method, engine=engine)
+            report.finish(status=RUN_TIMEOUT, error=exc, budget=budget)
+        report.method = method
+        report.engine = engine
+        return report
+    except ReproError as exc:
+        report = RunReport(method=method, engine=engine)
+        # A solve clipped to the remaining wall time reports its failure
+        # as a limit/synthesis error; once the deadline has passed, the
+        # deadline is the dominant cause.
+        status = RUN_TIMEOUT if budget.expired() else RUN_ERROR
+        report.finish(status=status, error=exc, budget=budget)
+        return report
+    report.result = result
+    return report

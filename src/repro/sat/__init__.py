@@ -14,10 +14,12 @@ with SIS, Stephan et al. 1992).  This package provides:
 * :mod:`repro.sat.bdd_engine` -- decision by BDD construction returning
   *minimum-weight* models (the follow-up paper's area-driven approach);
 * :func:`solve_with` -- engine dispatch, defaulting to a DPLL-then-CDCL
-  hybrid;
+  hybrid, with an optional fallback ladder that escalates engines on a
+  ``LIMIT`` outcome;
 * :mod:`repro.sat.encode` -- small clause-encoding helpers.
 """
 
+from repro.runtime.faults import should_fire as _fault_fires
 from repro.sat.cnf import Cnf
 from repro.sat.bdd_engine import solve_bdd
 from repro.sat.cdcl import solve_cdcl
@@ -34,8 +36,13 @@ from repro.sat.solver import (
 #: Budget for the DPLL pass of the hybrid engine.
 _HYBRID_DPLL_LIMITS = Limits(max_backtracks=50_000, max_seconds=2.0)
 
+#: Budget multipliers for the ladder's enlarged CDCL retry.
+_LADDER_BACKTRACK_FACTOR = 4
+_LADDER_SECONDS_FACTOR = 2.0
 
-def solve_with(cnf, limits=None, engine="hybrid"):
+
+def solve_with(cnf, limits=None, engine="hybrid", fallback=False,
+               budget=None):
     """Solve with a named engine.
 
     * ``"dpll"`` -- the chronological branch-and-bound search matching
@@ -52,7 +59,34 @@ def solve_with(cnf, limits=None, engine="hybrid"):
       decided when DPLL thrashes.
 
     All engines honour the same :class:`Limits` budget.
+
+    With ``fallback=True`` a ``LIMIT`` outcome climbs the escalation
+    ladder -- the requested engine, then CDCL with an enlarged budget,
+    then the BDD engine (whose own rescue is CDCL) -- and the trail of
+    ``(engine, status)`` rungs is recorded on ``result.escalations``.
+    ``budget`` (a :class:`~repro.runtime.budget.Budget`) additionally
+    clips every rung to the run's remaining global allowance, so the
+    ladder can never climb past the run deadline.
     """
+    if budget is not None:
+        limits = budget.sub_limits(limits)
+    result = _solve_once(cnf, limits, engine)
+    if result.status != LIMIT or not fallback:
+        return result
+    trail = [(engine, result.status)]
+    for rung_engine, rung_limits in _ladder(engine, limits, budget):
+        result = _solve_once(cnf, rung_limits, rung_engine)
+        trail.append((rung_engine, result.status))
+        if result.status != LIMIT:
+            break
+    result.escalations = trail
+    return result
+
+
+def _solve_once(cnf, limits, engine):
+    """One rung: dispatch to a single engine (plus its built-in rescue)."""
+    if _fault_fires("solver-limit", detail=engine):
+        return SolveResult(LIMIT, None, 0, 0, 0, 0.0)
     if engine == "cdcl":
         return solve_cdcl(cnf, limits)
     if engine == "dpll":
@@ -78,12 +112,48 @@ def solve_with(cnf, limits=None, engine="hybrid"):
     raise ValueError(f"unknown SAT engine {engine!r}")
 
 
+def _ladder(engine, limits, budget):
+    """Escalation rungs after ``engine`` exhausted ``limits``.
+
+    CDCL gets an enlarged budget (learning needs room the first attempt
+    did not have); the BDD rung is the last resort because its cost is
+    structural, not search-bound.  Every rung is clipped to the global
+    budget so escalation never outlives the run deadline.
+    """
+    enlarged = None
+    if limits is not None:
+        enlarged = Limits(
+            max_backtracks=_scale_opt(
+                limits.max_backtracks, _LADDER_BACKTRACK_FACTOR
+            ),
+            max_seconds=_scale_opt(
+                limits.max_seconds, _LADDER_SECONDS_FACTOR
+            ),
+        )
+    rungs = [("cdcl", enlarged)]
+    if engine != "bdd":
+        rungs.append(("bdd", enlarged))
+    for rung_engine, rung_limits in rungs:
+        if budget is not None:
+            rung_limits = budget.sub_limits(rung_limits)
+        yield rung_engine, rung_limits
+
+
+def _scale_opt(value, factor):
+    if value is None:
+        return None
+    scaled = value * factor
+    return type(value)(scaled) if isinstance(value, int) else scaled
+
+
 def _min_opt(a, b):
     if a is None:
         return b
     if b is None:
         return a
     return min(a, b)
+
+
 from repro.sat.encode import (
     add_at_most_one,
     add_equal,

@@ -17,23 +17,52 @@ from __future__ import annotations
 import time
 
 from repro.bdd.manager import BddManager, BddOverflowError, FALSE
+from repro.runtime.faults import should_fire as _fault_fires
 from repro.sat.solver import LIMIT, SAT, UNSAT, SolveResult
 
 #: Node-table capacity; small modular formulas stay far below this.
 DEFAULT_MAX_NODES = 400_000
 
+#: Nodes granted per backtrack when mapping a search budget onto the node
+#: table (see :func:`nodes_for_limits`).
+_NODES_PER_BACKTRACK = 8
 
-def solve_bdd(cnf, limits=None, max_nodes=DEFAULT_MAX_NODES):
+#: Smallest node table a mapped budget may request; below this the engine
+#: cannot even represent trivial formulas and every call would LIMIT.
+_MIN_MAPPED_NODES = 64
+
+
+def nodes_for_limits(limits, max_nodes=DEFAULT_MAX_NODES):
+    """Map a :class:`~repro.sat.solver.Limits` budget onto a node cap.
+
+    The BDD engine has no backtracks to count, so a caller-supplied
+    ``max_backtracks`` would otherwise be silently ignored -- the one
+    engine that could blow up past every budget.  The conversion grants
+    :data:`_NODES_PER_BACKTRACK` table nodes per allowed backtrack
+    (clamped to ``[_MIN_MAPPED_NODES, max_nodes]``), which keeps the
+    default modular budgets at the full table while making a deliberately
+    tiny budget produce a prompt ``LIMIT`` like the search engines do.
+    """
+    if limits is None or limits.max_backtracks is None:
+        return max_nodes
+    mapped = limits.max_backtracks * _NODES_PER_BACKTRACK
+    return max(_MIN_MAPPED_NODES, min(max_nodes, mapped))
+
+
+def solve_bdd(cnf, limits=None, max_nodes=None):
     """Decide ``cnf`` by BDD construction; minimise its variable weights.
 
-    The ``limits`` budget applies its ``max_seconds`` only (there is no
-    backtracking to count); a blow-up in nodes or time yields
-    :data:`LIMIT`.
+    The ``limits`` budget bounds both dimensions the construction has:
+    ``max_seconds`` as a deadline and ``max_backtracks`` mapped onto the
+    node table via :func:`nodes_for_limits` (overridden by an explicit
+    ``max_nodes``).  A blow-up in nodes or time yields :data:`LIMIT`.
     """
     started = time.perf_counter()
     deadline = None
     if limits is not None and limits.max_seconds is not None:
         deadline = started + limits.max_seconds
+    if max_nodes is None:
+        max_nodes = nodes_for_limits(limits)
 
     manager = BddManager(cnf.num_vars, max_nodes=max_nodes)
 
@@ -42,6 +71,8 @@ def solve_bdd(cnf, limits=None, max_nodes=DEFAULT_MAX_NODES):
             status, assignment, 0, 0, 0, time.perf_counter() - started
         )
 
+    if _fault_fires("bdd-blowup"):
+        return result(LIMIT)
     try:
         function = _build(manager, cnf, deadline)
     except BddOverflowError:

@@ -57,6 +57,9 @@ class SolveResult:
         self.propagations = propagations
         self.backtracks = backtracks
         self.seconds = seconds
+        #: ``(engine, status)`` rungs when the fallback ladder ran
+        #: (:func:`repro.sat.solve_with`), else ``None``.
+        self.escalations = None
 
     @property
     def is_sat(self):

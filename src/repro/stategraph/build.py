@@ -97,7 +97,8 @@ def infer_signal_values(stg, graph):
     return values
 
 
-def build_state_graph(stg, contract_dummies=True, **explore_kwargs):
+def build_state_graph(stg, contract_dummies=True, budget=None,
+                      **explore_kwargs):
     """Derive the complete state graph Σ from an STG.
 
     Parameters
@@ -108,6 +109,10 @@ def build_state_graph(stg, contract_dummies=True, **explore_kwargs):
         When true (default), states connected by dummy (ε) transitions are
         merged away, as in the classical ε-free automaton conversion the
         paper cites; the returned graph then has no ε edges.
+    budget:
+        Optional :class:`~repro.runtime.budget.Budget`; bounds the
+        marking exploration (deadline and state cap) and is checked
+        between the construction phases.
     explore_kwargs:
         Passed to :func:`repro.petrinet.reachability.reachability_graph`
         (``marking_limit``, ``token_bound``).
@@ -116,13 +121,17 @@ def build_state_graph(stg, contract_dummies=True, **explore_kwargs):
     -------
     StateGraph
     """
-    reach = reachability_graph(stg.net, **explore_kwargs)
+    reach = reachability_graph(stg.net, budget=budget, **explore_kwargs)
+    if budget is not None:
+        budget.checkpoint("state-graph")
     for marking in reach.markings:
         if not marking.is_safe():
             raise StgValidationError(
                 f"STG is not 1-safe: reachable marking {marking!r}"
             )
     values = infer_signal_values(stg, reach)
+    if budget is not None:
+        budget.checkpoint("signal-values")
 
     signals = tuple(stg.signals)
     index = {marking: i for i, marking in enumerate(reach.markings)}

@@ -6,6 +6,8 @@ from repro.petrinet.errors import PetriNetError
 class StgError(PetriNetError):
     """Base class for STG-level errors."""
 
+    kind = "stg"
+
 
 class GFormatError(StgError):
     """A ``.g`` file could not be parsed.
@@ -13,10 +15,12 @@ class GFormatError(StgError):
     Carries the 1-based line number when known.
     """
 
+    kind = "g-format"
+
     def __init__(self, message, line=None):
         if line is not None:
             message = f"line {line}: {message}"
-        super().__init__(message)
+        super().__init__(message, line=line)
         self.line = line
 
 
@@ -27,3 +31,5 @@ class StgValidationError(StgError):
     an unbounded underlying net, a transition labelled with an undeclared
     signal.
     """
+
+    kind = "stg-validation"

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.petrinet.net import PetriNet
 from repro.petrinet.builder import implicit_place_name
+from repro.runtime.faults import should_fire as _fault_fires
 from repro.stg.errors import GFormatError
 from repro.stg.model import (
     DUMMY,
@@ -52,6 +53,8 @@ def parse_g_file(path):
 
 def parse_g(text, name_hint="stg"):
     """Parse ``.g`` source text into a :class:`SignalTransitionGraph`."""
+    if _fault_fires("parse-error"):
+        raise GFormatError("injected fault: parse error")
     state = _ParserState(name_hint)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()

@@ -1,0 +1,128 @@
+"""End-to-end behaviour of the budgeted orchestrator."""
+
+import time
+
+import pytest
+
+from repro.runtime import Budget, faults
+from repro.runtime.report import RunReport
+from repro.runtime.run import run_synthesis
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_ok_run_reports_every_module_ok():
+    report = run_synthesis(parse_g(CSC_CONFLICT))
+    assert report.status == "ok"
+    assert report.exit_code == 0
+    assert {m.output for m in report.modules} == {"b", "c"}
+    assert all(m.status == "ok" for m in report.modules)
+    assert report.result is not None
+    assert report.budget["elapsed_seconds"] >= 0
+
+
+def test_methods_share_the_contract():
+    for method in ("modular", "direct", "lavagno"):
+        report = run_synthesis(parse_g(HANDSHAKE), method=method)
+        assert report.status == "ok", method
+        assert report.result is not None
+
+
+def test_unknown_method_is_a_bug_not_a_report():
+    with pytest.raises(ValueError):
+        run_synthesis(parse_g(HANDSHAKE), method="quantum")
+
+
+def test_timeout_returns_partial_report_within_deadline():
+    # An already-expired budget dies at the first checkpoint, making the
+    # "terminates promptly and still returns a report" contract
+    # deterministic regardless of machine speed.
+    budget = Budget(max_seconds=0.0)
+    started = time.perf_counter()
+    report = run_synthesis(parse_g(CSC_CONFLICT), budget=budget)
+    elapsed = time.perf_counter() - started
+    assert report.status == "timeout"
+    assert report.exit_code == 3
+    assert report.result is None
+    assert report.error is not None
+    # Generous slack for interpreter jitter; the contract is ~1.1x.
+    assert elapsed < 1.0
+    assert report.budget["exhausted_at"] is not None
+
+
+def test_timeout_mid_modules_marks_remaining_skipped():
+    # A budget that survives graph construction but dies at the first
+    # module checkpoint: expired the moment it is first consulted.
+    class Dying(Budget):
+        def checkpoint(self, point=""):
+            if point.startswith("module:"):
+                self.max_seconds = -1.0
+            super().checkpoint(point)
+
+    report = run_synthesis(parse_g(CSC_CONFLICT), budget=Dying())
+    assert report.status == "timeout"
+    assert report.modules, "partial per-module results expected"
+    assert all(m.status == "skipped" for m in report.modules)
+
+
+def test_structured_error_becomes_error_report():
+    # An inconsistent STG (a only ever rises) surfaces as status=error.
+    bad = parse_g(
+        """
+.model broken
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a+
+.marking { <b+,a+> }
+.end
+"""
+    )
+    report = run_synthesis(bad)
+    assert report.status == "error"
+    assert report.exit_code == 1
+    assert report.error is not None
+
+
+def test_injected_module_fault_yields_exit_code_2():
+    with faults.injected("module-solve"):
+        report = run_synthesis(parse_g(CSC_CONFLICT))
+    assert report.status == "degraded"
+    assert report.exit_code == 2
+    assert len(report.degraded_modules) + len(report.skipped_modules) == 1
+
+
+def test_no_fallback_propagates_as_error_report():
+    with faults.injected("module-solve"):
+        report = run_synthesis(parse_g(CSC_CONFLICT), fallback=False)
+    assert report.status == "error"
+    assert report.exit_code == 1
+
+
+def test_max_states_budget_trips_on_big_graph():
+    report = run_synthesis(
+        parse_g(CSC_CONFLICT), budget=Budget(max_states=2)
+    )
+    assert report.status == "timeout"
+    assert report.error.resource == "states"
+
+
+def test_report_summary_mentions_module_counts():
+    report = run_synthesis(parse_g(CSC_CONFLICT))
+    assert "2 ok" in report.summary()
+
+
+def test_exit_code_table_is_total():
+    report = RunReport()
+    for status in ("ok", "degraded", "timeout", "error"):
+        report.status = status
+        assert isinstance(report.exit_code, int)

@@ -1,0 +1,73 @@
+"""Every engine honours a tiny budget with a prompt LIMIT -- no hangs.
+
+The adversarial instance is the pigeonhole principle PHP(n+1, n): provably
+exponential for resolution-based search, and its conjunction BDD blows
+through a small node table.  Under a near-zero budget all four engines
+must *return* ``LIMIT`` -- not raise, not run away.
+"""
+
+import time
+
+import pytest
+
+from repro.sat import LIMIT, Cnf, Limits, solve_bdd, solve_with
+from repro.sat.bdd_engine import nodes_for_limits, DEFAULT_MAX_NODES
+
+
+def pigeonhole(holes):
+    """CNF of PHP(holes+1, holes): unsatisfiable, resolution-hard."""
+    cnf = Cnf()
+    var = {}
+    for pigeon in range(holes + 1):
+        for hole in range(holes):
+            var[pigeon, hole] = cnf.new_var(f"p{pigeon}h{hole}")
+    for pigeon in range(holes + 1):
+        cnf.add_clause([var[pigeon, hole] for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(holes + 1):
+            for second in range(first + 1, holes + 1):
+                cnf.add_clause(
+                    [-var[first, hole], -var[second, hole]]
+                )
+    return cnf
+
+
+TINY = Limits(max_backtracks=2, max_seconds=0.5)
+
+
+@pytest.mark.parametrize("engine", ["dpll", "cdcl", "bdd", "hybrid"])
+def test_every_engine_limits_under_tiny_budget(engine):
+    cnf = pigeonhole(8)
+    started = time.perf_counter()
+    result = solve_with(cnf, TINY, engine=engine)
+    elapsed = time.perf_counter() - started
+    assert result.status == LIMIT, engine
+    assert elapsed < 5.0, f"{engine} did not stop promptly"
+
+
+def test_bdd_engine_maps_backtracks_onto_nodes():
+    # The mapping keeps generous budgets at the full table ...
+    assert nodes_for_limits(None) == DEFAULT_MAX_NODES
+    assert nodes_for_limits(Limits()) == DEFAULT_MAX_NODES
+    assert (
+        nodes_for_limits(Limits(max_backtracks=100_000))
+        == DEFAULT_MAX_NODES
+    )
+    # ... and shrinks it for tiny ones (clamped to a workable floor).
+    assert nodes_for_limits(Limits(max_backtracks=2)) == 64
+    assert nodes_for_limits(Limits(max_backtracks=100)) == 800
+
+
+def test_solve_bdd_limits_on_node_budget_alone():
+    # No deadline: only the mapped node budget can stop it.
+    result = solve_bdd(pigeonhole(8), Limits(max_backtracks=2))
+    assert result.status == LIMIT
+
+
+def test_solve_bdd_still_decides_small_instances_under_floor_budget():
+    cnf = Cnf()
+    a, b = cnf.new_var("a"), cnf.new_var("b")
+    cnf.add_clause([a, b])
+    cnf.add_clause([-a, b])
+    result = solve_bdd(cnf, Limits(max_backtracks=1))
+    assert result.status == "sat"

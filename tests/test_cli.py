@@ -3,6 +3,7 @@
 import pytest
 
 from repro.__main__ import main
+from repro.runtime import faults
 
 from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
 
@@ -58,3 +59,73 @@ def test_no_verify(tmp_path, capsys):
 def test_bad_method_rejected(spec):
     with pytest.raises(SystemExit):
         main([spec, "--method", "quantum"])
+
+
+# -- robustness: every failure class exits with a one-line diagnostic ----
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_missing_file_is_exit_1_one_liner(capsys):
+    assert main(["does/not/exist.g"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_malformed_g_is_exit_1_one_liner(tmp_path, capsys):
+    path = tmp_path / "bad.g"
+    path.write_text(".model broken\n.inputs a\n.graph\n")
+    assert main([str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "g-format" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_invalid_stg_is_exit_1(tmp_path, capsys):
+    # Parses fine but a only ever rises: a validation failure, not a crash.
+    path = tmp_path / "inconsistent.g"
+    path.write_text(
+        ".model broken\n.inputs a\n.outputs b\n.graph\n"
+        "a+ b+\nb+ a+\n.marking { <b+,a+> }\n.end\n"
+    )
+    assert main([str(path)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_synthesis_failure_is_exit_1(spec, capsys):
+    with faults.injected("module-solve"):
+        code = main([spec, "--no-fallback", "--quiet"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: synthesis:")
+
+
+def test_degraded_run_is_exit_2(spec, capsys):
+    with faults.injected("module-solve"):
+        code = main([spec, "--quiet"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "conformance verified" in captured.out
+    assert "degraded" in captured.err
+
+
+def test_timeout_is_exit_3_with_partial_report(spec, capsys):
+    assert main([spec, "--timeout", "0", "--quiet"]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("timeout:")
+
+
+def test_max_states_budget_is_exit_3(spec, capsys):
+    assert main([spec, "--max-states", "2", "--quiet"]) == 3
+    assert "states" in capsys.readouterr().err
+
+
+def test_timeout_large_enough_still_succeeds(spec, capsys):
+    assert main([spec, "--timeout", "60", "--quiet"]) == 0
+    assert "conformance verified" in capsys.readouterr().out
