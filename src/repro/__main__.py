@@ -20,11 +20,24 @@ Options:
 ``--blif PATH``                       write the circuit netlist
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
+``--trace FILE.jsonl``                write the span journal to FILE
+``--metrics``                        print run-wide counter totals
+``--profile-top N``                  print the N heaviest span names
+
+Observability flags compose with ``--quiet`` as follows: ``--quiet``
+suppresses the *human* narration (the per-signal equations), never the
+machine-readable outputs -- a requested trace file is always written,
+and ``--metrics``/``--profile-top`` tables are explicit requests so
+they print regardless.  The trace file is written even when the run
+fails or times out, so a journal of a bad run still shows where it
+went wrong.
 
 Exit codes: ``0`` success, ``1`` error (bad input, failed synthesis or
 verification), ``2`` success with degradation (some output needed a
 fallback pass, or verification was skipped at the deadline), ``3``
-budget exhausted (partial per-module results on stderr).
+budget exhausted (partial per-module results on stderr).  The
+observability flags never change the exit code: a run that traces
+successfully but degrades still exits 2.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.errors import ReproError
 from repro.logic import equations, write_synthesis_blif
 from repro.runtime.budget import Budget
@@ -71,6 +85,18 @@ def main(argv=None):
     parser.add_argument("--blif", metavar="PATH", default=None)
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL span journal (written even under --quiet)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print run-wide counter totals after the summary",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=None, metavar="N",
+        help="print the N heaviest span names by total wall clock",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -83,6 +109,22 @@ def main(argv=None):
         print(f"error: {args.spec}: {exc.describe()}", file=sys.stderr)
         return 1
 
+    observe = bool(args.trace or args.metrics or args.profile_top)
+    tracer = obs.install(obs.Tracer(journal=args.trace)) if observe else None
+    try:
+        code = _run(args, stg, tracer)
+    finally:
+        # Close (and flush) the journal even when the run failed: a
+        # trace of a bad run is the one worth reading.
+        if tracer is not None:
+            obs.uninstall()
+            tracer.close()
+    if tracer is not None:
+        _print_observability(args, tracer)
+    return code
+
+
+def _run(args, stg, tracer):
     budget = Budget(max_seconds=args.timeout, max_states=args.max_states)
     report = run_synthesis(
         stg, method=args.method, engine=args.engine, budget=budget,
@@ -138,6 +180,22 @@ def main(argv=None):
         _print_modules(report, only_degraded=True)
         return 2
     return 0
+
+
+def _print_observability(args, tracer):
+    """Counter totals / span profile on stdout.
+
+    These are explicit requests, so they print even under ``--quiet``
+    and on failed runs (the tracer has already folded whatever spans
+    completed before the failure).
+    """
+    from repro.obs import format_counters, format_profile
+
+    if args.metrics:
+        totals = tracer.counter_totals()
+        print(format_counters(totals) if totals else "metrics: none recorded")
+    if args.profile_top:
+        print(format_profile(tracer.stats, top=args.profile_top))
 
 
 def _print_modules(report, only_degraded=False):

@@ -23,13 +23,13 @@ comparable but found along a different trade-off.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.csc.assignment import Assignment
 from repro.csc.errors import SynthesisError
 from repro.csc.insertion import expand
 from repro.csc.solve import solve_state_signals
 from repro.csc.verify import assert_csc
+from repro.obs import Stopwatch
 from repro.stategraph.build import build_state_graph
 from repro.stategraph.csc import csc_conflicts
 from repro.stategraph.graph import StateGraph
@@ -113,7 +113,7 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
     -------
     LavagnoResult
     """
-    started = time.perf_counter()
+    watch = Stopwatch()
     if isinstance(stg, StateGraph):
         graph = stg
     else:
@@ -130,15 +130,16 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
         if not conflicts:
             break
         target = _largest_class_conflicts(graph, assignment, conflicts)
-        outcome = solve_state_signals(
-            graph,
-            extra_codes=assignment.cur_bits(),
-            extra_implied=assignment.implied_bits(),
-            conflict_pairs=target,
-            limits=limits,
-            engine=engine,
-            on_limit="skip",
-        )
+        with obs.span("lavagno_round", round=_round):
+            outcome = solve_state_signals(
+                graph,
+                extra_codes=assignment.cur_bits(),
+                extra_implied=assignment.implied_bits(),
+                conflict_pairs=target,
+                limits=limits,
+                engine=engine,
+                on_limit="skip",
+            )
         names = [
             f"{signal_prefix}{assignment.num_signals + k}"
             for k in range(outcome.m)
@@ -154,9 +155,10 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
     # verify-and-repair treatment as the other methods.
     from repro.csc.synthesis import _repair
 
-    assignment, expanded, repair_attempts = _repair(
-        graph, assignment, limits, 12, signal_prefix, engine
-    )
+    with obs.span("repair"):
+        assignment, expanded, repair_attempts = _repair(
+            graph, assignment, limits, 12, signal_prefix, engine
+        )
     if repair_attempts:
         rounds.append(repair_attempts)
     assert_csc(expanded, context="lavagno baseline result")
@@ -168,10 +170,11 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
     if minimize:
         from repro.logic.extract import synthesize_logic
 
-        covers, literals = synthesize_logic(expanded)
+        with obs.span("minimize"):
+            covers, literals = synthesize_logic(expanded)
     return LavagnoResult(
         graph, expanded, assignment, rounds, covers, literals,
-        time.perf_counter() - started,
+        watch.elapsed(),
     )
 
 

@@ -1,15 +1,27 @@
-"""Benchmark runners: one Table-1 row per method per benchmark."""
+"""Benchmark runners: one Table-1 row per method per benchmark.
+
+Besides the in-memory :class:`MethodRow` objects, :func:`write_bench_json`
+serialises a completed run -- rows plus the active tracer's span
+summaries -- as ``BENCH_<tag>.json`` (schema ``repro-bench/1``), the
+machine-readable artifact CI's bench-smoke job validates and archives.
+"""
 
 from __future__ import annotations
 
-import time
+import json
+import os
 
+from repro import obs
 from repro.bench.suite import BENCHMARKS, load_benchmark
 from repro.csc.direct import direct_synthesis
 from repro.csc.errors import BacktrackLimitError
 from repro.csc.synthesis import modular_synthesis
+from repro.obs import Counters, Stopwatch
 from repro.sat.solver import Limits
 from repro.stategraph.build import build_state_graph
+
+#: Schema identifier written into every ``BENCH_<tag>.json``.
+BENCH_SCHEMA = "repro-bench/1"
 
 #: Default direct-method budget standing in for the paper's backtrack
 #: limit / 3600 s abort.
@@ -20,16 +32,17 @@ class MethodRow:
     """Measured results of one method on one benchmark.
 
     Mirrors a Table-1 cell group: final states/signals, two-level area,
-    CPU time, or an abort note.  The robustness columns
+    CPU time, or an abort note.  The robustness statistics
     (``backtracks``, ``escalations``, ``degraded``/``skipped`` module
-    counts) let perf PRs track budget consumption and degradation
-    regressions alongside timing.
+    counts) live in a shared :class:`~repro.obs.metrics.Counters` bag --
+    the same type solver results and run reports carry -- and are
+    exposed as read-only properties for compatibility.
     """
 
     def __init__(self, benchmark, method, initial_states, initial_signals,
                  final_states=None, final_signals=None, area=None,
                  cpu=None, note=None, formula_sizes=(), backtracks=0,
-                 escalations=0, degraded=0, skipped=0):
+                 escalations=0, degraded=0, skipped=0, metrics=None):
         self.benchmark = benchmark
         self.method = method
         self.initial_states = initial_states
@@ -40,18 +53,54 @@ class MethodRow:
         self.cpu = cpu
         self.note = note
         self.formula_sizes = list(formula_sizes)
-        #: Total SAT backtracks consumed across every formula.
-        self.backtracks = backtracks
-        #: Engine-ladder escalations recorded by the solves.
-        self.escalations = escalations
-        #: Modules that fell back to a per-output direct sub-solve.
-        self.degraded = degraded
-        #: Modules left entirely to the verify-and-repair pass.
-        self.skipped = skipped
+        if metrics is None:
+            metrics = Counters(
+                backtracks=backtracks,
+                escalations=escalations,
+                modules_degraded=degraded,
+                modules_skipped=skipped,
+            )
+        self.metrics = metrics
+
+    @property
+    def backtracks(self):
+        """Total SAT backtracks consumed across every formula."""
+        return self.metrics["backtracks"]
+
+    @property
+    def escalations(self):
+        """Engine-ladder escalations recorded by the solves."""
+        return self.metrics["escalations"]
+
+    @property
+    def degraded(self):
+        """Modules that fell back to a per-output direct sub-solve."""
+        return self.metrics["modules_degraded"]
+
+    @property
+    def skipped(self):
+        """Modules left entirely to the verify-and-repair pass."""
+        return self.metrics["modules_skipped"]
 
     @property
     def completed(self):
         return self.note is None
+
+    def as_dict(self):
+        """JSON-ready snapshot for ``BENCH_<tag>.json``."""
+        return {
+            "benchmark": self.benchmark,
+            "method": self.method,
+            "initial_states": self.initial_states,
+            "initial_signals": self.initial_signals,
+            "final_states": self.final_states,
+            "final_signals": self.final_signals,
+            "area": self.area,
+            "cpu": None if self.cpu is None else round(self.cpu, 6),
+            "note": self.note,
+            "formula_sizes": [list(pair) for pair in self.formula_sizes],
+            "counters": self.metrics.as_dict(),
+        }
 
     def __repr__(self):
         if not self.completed:
@@ -119,7 +168,7 @@ def run_direct(name, limits=None, minimize=True, graph=None,
     """
     stg, graph = _base_counts(name, graph)
     limits = DEFAULT_DIRECT_LIMITS if limits is None else limits
-    started = time.perf_counter()
+    watch = Stopwatch()
     try:
         result = direct_synthesis(
             graph, limits=limits, minimize=minimize, engine=engine
@@ -129,7 +178,7 @@ def run_direct(name, limits=None, minimize=True, graph=None,
             name, "direct",
             initial_states=graph.num_states,
             initial_signals=len(graph.signals),
-            cpu=time.perf_counter() - started,
+            cpu=watch.elapsed(),
             note="backtrack-limit",
         )
     sizes = [
@@ -190,6 +239,39 @@ def table_rows(names=None, methods=("modular", "direct", "lavagno"),
             method: runners[method](name, graph) for method in methods
         }
     return rows
+
+
+def write_bench_json(rows, tag, out_dir=".", tracer=None, extra=None):
+    """Write ``BENCH_<tag>.json`` for a completed :func:`table_rows` run.
+
+    The document (schema ``repro-bench/1``) carries the flattened rows,
+    the counter totals summed over them, and -- when a tracer is active
+    or passed explicitly -- its per-span-name profile, so one artifact
+    holds both the Table-1 numbers and where the wall clock went.
+    Returns the path written.
+    """
+    if tracer is None:
+        tracer = obs.active()
+    totals = Counters()
+    flat = []
+    for per_method in rows.values():
+        for row in per_method.values():
+            flat.append(row.as_dict())
+            totals.merge(row.metrics)
+    document = {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "rows": flat,
+        "counters": totals.as_dict(),
+        "spans": tracer.stats_dict() if tracer is not None else None,
+    }
+    if extra:
+        document.update(extra)
+    path = os.path.join(out_dir, f"BENCH_{tag}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
 
 
 def aggregate_area(rows, baseline_method, reference_method="modular"):

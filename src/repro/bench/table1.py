@@ -4,16 +4,22 @@ Usage::
 
     python -m repro.bench.table1 [--methods modular,direct,lavagno]
                                  [--names mr0,nak-pa,...] [--no-minimize]
+                                 [--trace FILE.jsonl] [--bench-json TAG]
+                                 [--out-dir DIR]
 
 Prints, for every benchmark in the paper's row order, the measured
 results of each requested method next to the numbers the paper reports.
+``--trace`` journals the run's spans to a JSONL file; ``--bench-json``
+additionally writes ``BENCH_<TAG>.json`` (rows + span summaries, schema
+``repro-bench/1``) into ``--out-dir`` for CI to validate and archive.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.bench.runner import aggregate_area, table_rows
+from repro import obs
+from repro.bench.runner import aggregate_area, table_rows, write_bench_json
 from repro.bench.suite import BENCHMARKS
 
 _PAPER_METHODS = {
@@ -80,6 +86,18 @@ def main(argv=None):
         "--no-minimize", action="store_true",
         help="skip two-level minimisation (omits the area columns)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL span journal of the whole run",
+    )
+    parser.add_argument(
+        "--bench-json", metavar="TAG", default=None,
+        help="write BENCH_<TAG>.json (rows + span summaries)",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory for BENCH_<TAG>.json (default: cwd)",
+    )
     args = parser.parse_args(argv)
 
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
@@ -93,10 +111,23 @@ def main(argv=None):
         if missing:
             parser.error(f"unknown benchmarks: {sorted(missing)}")
 
-    rows = table_rows(
-        names=names, methods=methods, minimize=not args.no_minimize
-    )
+    observe = bool(args.trace or args.bench_json)
+    tracer = obs.install(obs.Tracer(journal=args.trace)) if observe else None
+    try:
+        rows = table_rows(
+            names=names, methods=methods, minimize=not args.no_minimize
+        )
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+            tracer.close()
     print(format_table(rows, methods))
+
+    if args.bench_json:
+        path = write_bench_json(
+            rows, args.bench_json, out_dir=args.out_dir, tracer=tracer
+        )
+        print(f"wrote {path}")
 
     if not args.no_minimize and "modular" in methods:
         for baseline in ("direct", "lavagno"):

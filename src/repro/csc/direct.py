@@ -9,12 +9,12 @@ benchmarks (:class:`~repro.csc.errors.BacktrackLimitError`).
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.csc.assignment import Assignment
 from repro.csc.insertion import expand
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
 from repro.csc.verify import assert_csc
+from repro.obs import Stopwatch
 from repro.stategraph.build import build_state_graph
 from repro.stategraph.graph import StateGraph
 
@@ -98,11 +98,12 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
     for _round in range(max_refinements):
         if budget is not None:
             budget.checkpoint("direct-solve")
-        outcome = solve_state_signals(
-            graph, limits=limits, max_signals=max_signals,
-            extra_conflict_pairs=tuple(extra_pairs), engine=engine,
-            budget=budget, fallback=fallback,
-        )
+        with obs.span("direct_solve", round=_round):
+            outcome = solve_state_signals(
+                graph, limits=limits, max_signals=max_signals,
+                extra_conflict_pairs=tuple(extra_pairs), engine=engine,
+                budget=budget, fallback=fallback,
+            )
         attempts.extend(outcome.attempts)
         outcome.attempts = attempts
         names = [f"{signal_prefix}{k}" for k in range(outcome.m)]
@@ -149,7 +150,7 @@ def direct_synthesis(stg, limits=None, minimize=True,
     -------
     DirectResult
     """
-    started = time.perf_counter()
+    watch = Stopwatch()
     if isinstance(stg, StateGraph):
         graph = stg
     else:
@@ -162,8 +163,9 @@ def direct_synthesis(stg, limits=None, minimize=True,
     if polish:
         from repro.csc.polish import polish_assignment
 
-        assignment = polish_assignment(graph, assignment)
-        expanded = expand(graph, assignment)
+        with obs.span("polish"):
+            assignment = polish_assignment(graph, assignment)
+            expanded = expand(graph, assignment)
     assert_csc(expanded, context="direct synthesis result")
     from repro.csc.synthesis import _assert_realizable
 
@@ -173,8 +175,9 @@ def direct_synthesis(stg, limits=None, minimize=True,
     if minimize:
         from repro.logic.extract import synthesize_logic
 
-        covers, literals = synthesize_logic(expanded)
+        with obs.span("minimize"):
+            covers, literals = synthesize_logic(expanded)
     return DirectResult(
         graph, expanded, assignment, outcome.attempts, covers, literals,
-        time.perf_counter() - started,
+        watch.elapsed(),
     )

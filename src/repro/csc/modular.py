@@ -8,6 +8,7 @@ SAT-CSC instance for the new state signals this output needs.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.csc.assignment import Assignment
 from repro.csc.errors import SynthesisError
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
@@ -106,7 +107,9 @@ def partition_sat(graph, output, input_set, existing, limits=None,
     while True:
         if budget is not None:
             budget.checkpoint(f"module:{output}")
-        q = quotient(graph, hidden)
+        with obs.span("project", output=output) as project_span:
+            q = quotient(graph, hidden)
+            project_span.add("macro_states", q.graph.num_states)
         restricted = existing.restricted(input_set.kept_state_signals)
         merged = restricted.merged_over(q.blocks)
         if merged is None:

@@ -8,10 +8,10 @@ add one more state signal whenever the formula is unsatisfiable.
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.csc.errors import BacktrackLimitError, SynthesisError
 from repro.csc.sat_csc import build_csc_formula
+from repro.obs import Counters, Stopwatch
 from repro.sat import solve_with
 from repro.sat.solver import LIMIT, SAT
 from repro.stategraph.csc import csc_conflicts, csc_lower_bound
@@ -21,19 +21,43 @@ DEFAULT_MAX_SIGNALS = 12
 
 
 class AttemptStats:
-    """Statistics of one formula build + solve attempt."""
+    """Statistics of one formula build + solve attempt.
+
+    ``metrics`` is the attempt's :class:`~repro.obs.metrics.Counters`
+    bag -- the solver's counters plus the formula size -- shared with
+    the trace span that timed the attempt; the classic statistic names
+    remain available as properties reading from it.
+    """
 
     def __init__(self, m, num_vars, num_clauses, result):
         self.m = m
-        self.num_vars = num_vars
-        self.num_clauses = num_clauses
         self.status = result.status
-        self.decisions = result.decisions
-        self.backtracks = result.backtracks
-        self.seconds = result.seconds
+        self.metrics = Counters(
+            num_vars=num_vars, num_clauses=num_clauses
+        ).merge(result.metrics)
         #: ``(engine, status)`` rungs when the fallback ladder escalated
         #: this attempt, else ``()``.
         self.escalations = tuple(getattr(result, "escalations", None) or ())
+
+    @property
+    def num_vars(self):
+        return self.metrics["num_vars"]
+
+    @property
+    def num_clauses(self):
+        return self.metrics["num_clauses"]
+
+    @property
+    def decisions(self):
+        return self.metrics["decisions"]
+
+    @property
+    def backtracks(self):
+        return self.metrics["backtracks"]
+
+    @property
+    def seconds(self):
+        return self.metrics["seconds"]
 
     @property
     def escalated(self):
@@ -111,7 +135,7 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
     IntrinsicConflictError
         When a conflict is intrinsic to a merged state (no coding exists).
     """
-    started = time.perf_counter()
+    watch = Stopwatch()
     if conflict_pairs is not None:
         # Caller-selected subset (e.g. the sequential baseline resolves
         # one conflict class per round).
@@ -150,7 +174,7 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
                 conflicts.append(pair)
     if not conflicts:
         rows = [() for _ in graph.states()]
-        return SolveOutcome(rows, 0, [], time.perf_counter() - started)
+        return SolveOutcome(rows, 0, [], watch.elapsed())
 
     if conflict_pairs is not None:
         m = 1  # the subset's own lower bound is not precomputed
@@ -174,15 +198,24 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
         for allow_serialisation in variants:
             if budget is not None:
                 budget.checkpoint("solve-state-signals")
-            formula = build_csc_formula(
-                graph, m, outputs=outputs, extra_codes=extra_codes,
-                extra_implied=extra_implied, conflict_pairs=conflicts,
-                allow_serialisation=allow_serialisation,
-            )
-            result = solve_with(
-                formula.cnf, limits, engine=engine, fallback=fallback,
-                budget=budget,
-            )
+            with obs.span("encode", m=m) as encode_span:
+                formula = build_csc_formula(
+                    graph, m, outputs=outputs, extra_codes=extra_codes,
+                    extra_implied=extra_implied, conflict_pairs=conflicts,
+                    allow_serialisation=allow_serialisation,
+                )
+                encode_span.add("num_clauses", formula.num_clauses)
+                encode_span.add("num_vars", formula.num_vars)
+            with obs.span("sat_attempt", m=m, engine=engine) as attempt_span:
+                result = solve_with(
+                    formula.cnf, limits, engine=engine, fallback=fallback,
+                    budget=budget,
+                )
+                attempt_span.set("status", result.status)
+                attempt_span.add("sat_attempts")
+                attempt_span.add("num_clauses", formula.num_clauses)
+                attempt_span.add("num_vars", formula.num_vars)
+                attempt_span.merge(result.metrics)
             if budget is not None:
                 budget.charge_backtracks(result.backtracks)
             attempts.append(
@@ -196,12 +229,12 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
                     f"({formula.num_clauses} clauses, "
                     f"{formula.num_vars} vars)",
                     backtracks=result.backtracks,
-                    seconds=time.perf_counter() - started,
+                    seconds=watch.elapsed(),
                 )
             if result.status == SAT:
                 rows = formula.decode(result.assignment)
                 return SolveOutcome(
-                    rows, m, attempts, time.perf_counter() - started
+                    rows, m, attempts, watch.elapsed()
                 )
         m += 1
     raise SynthesisError(

@@ -12,8 +12,7 @@ residue is empty in the worst case after all outputs are processed).
 
 from __future__ import annotations
 
-import time
-
+from repro import obs
 from repro.csc.assignment import Assignment
 from repro.csc.errors import CscError, SynthesisError
 from repro.csc.input_set import determine_input_set
@@ -21,6 +20,7 @@ from repro.csc.insertion import expand
 from repro.csc.modular import partition_sat
 from repro.csc.propagate import propagate
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
+from repro.obs import Stopwatch
 from repro.runtime.budget import BudgetExhaustedError
 from repro.runtime.report import (
     MODULE_DEGRADED,
@@ -184,7 +184,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
     -------
     ModularResult
     """
-    started = time.perf_counter()
+    watch = Stopwatch()
     if limits is None:
         limits = DEFAULT_MODULAR_LIMITS
     if isinstance(stg, StateGraph):
@@ -214,17 +214,19 @@ def modular_synthesis(stg, limits=None, minimize=True,
                 budget=budget, fallback=fallback, degrade=degrade,
             )
 
-        assignment, expanded, repair_attempts = _repair(
-            graph, assignment, limits, max_signals, signal_prefix, engine,
-            budget=budget, fallback=fallback,
-        )
+        with obs.span("repair"):
+            assignment, expanded, repair_attempts = _repair(
+                graph, assignment, limits, max_signals, signal_prefix,
+                engine, budget=budget, fallback=fallback,
+            )
         if polish:
             from repro.csc.polish import polish_assignment
 
             if budget is not None:
                 budget.checkpoint("polish")
-            assignment = polish_assignment(graph, assignment)
-            expanded = expand(graph, assignment)
+            with obs.span("polish"):
+                assignment = polish_assignment(graph, assignment)
+                expanded = expand(graph, assignment)
         _assert_realizable(graph, assignment)
 
         covers = literals = None
@@ -233,7 +235,8 @@ def modular_synthesis(stg, limits=None, minimize=True,
 
             if budget is not None:
                 budget.checkpoint("minimize")
-            covers, literals = synthesize_logic(expanded)
+            with obs.span("minimize"):
+                covers, literals = synthesize_logic(expanded)
     except BudgetExhaustedError as exc:
         # Leave a faithful partial record: everything not yet finished is
         # skipped, and the report travels on the exception.
@@ -249,7 +252,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
     report.finish(budget=budget)
     return ModularResult(
         graph, expanded, assignment, modules, repair_attempts, covers,
-        literals, time.perf_counter() - started, report=report,
+        literals, watch.elapsed(), report=report,
     )
 
 
@@ -261,33 +264,40 @@ def _solve_module(graph, output, assignment, modules, report, *,
     Returns the extended assignment and appends to ``modules`` /
     ``report`` as a side effect.
     """
-    input_set = determine_input_set(graph, output, assignment)
-    try:
-        partition = partition_sat(
-            graph, output, input_set, assignment, limits=limits,
-            max_signals=max_signals, name_start=assignment.num_signals,
-            signal_prefix=signal_prefix, engine=engine, budget=budget,
-            fallback=fallback,
+    with obs.span("module", output=output) as module_span:
+        with obs.span("input_set", output=output):
+            input_set = determine_input_set(graph, output, assignment)
+        try:
+            partition = partition_sat(
+                graph, output, input_set, assignment, limits=limits,
+                max_signals=max_signals, name_start=assignment.num_signals,
+                signal_prefix=signal_prefix, engine=engine, budget=budget,
+                fallback=fallback,
+            )
+        except CscError as exc:
+            if not degrade:
+                raise
+            assignment = _degrade_module(
+                graph, output, assignment, report, exc,
+                limits=limits, max_signals=max_signals,
+                signal_prefix=signal_prefix, engine=engine, budget=budget,
+                fallback=fallback,
+            )
+            module_span.set("status", report.modules[-1].status)
+            return assignment
+        escalations = sum(
+            1 for attempt in partition.outcome.attempts if attempt.escalated
         )
-    except CscError as exc:
-        if not degrade:
-            raise
-        return _degrade_module(
-            graph, output, assignment, report, exc,
-            limits=limits, max_signals=max_signals,
-            signal_prefix=signal_prefix, engine=engine, budget=budget,
-            fallback=fallback,
+        with obs.span("propagate", output=output):
+            assignment = propagate(assignment, partition)
+        modules.append(ModuleReport(output, input_set, partition))
+        report.add_module(
+            output, MODULE_OK, signals_added=partition.signals_added,
+            escalations=escalations,
         )
-    escalations = sum(
-        1 for attempt in partition.outcome.attempts if attempt.escalated
-    )
-    assignment = propagate(assignment, partition)
-    modules.append(ModuleReport(output, input_set, partition))
-    report.add_module(
-        output, MODULE_OK, signals_added=partition.signals_added,
-        escalations=escalations,
-    )
-    return assignment
+        module_span.set("status", MODULE_OK)
+        module_span.add("signals_added", partition.signals_added)
+        return assignment
 
 
 def _degrade_module(graph, output, assignment, report, cause, *,
@@ -376,6 +386,7 @@ def _repair(graph, assignment, limits, max_signals, signal_prefix, engine,
     for _round in range(_MAX_REPAIR_ROUNDS):
         if budget is not None:
             budget.checkpoint("repair")
+        obs.add("repair_rounds")
         expanded, origins = expand(graph, assignment, return_origins=True)
         violations = csc_conflicts(expanded)
         if not violations:

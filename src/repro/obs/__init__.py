@@ -1,0 +1,87 @@
+"""``repro.obs`` -- tracing, metrics and the run journal.
+
+The paper's argument is quantitative (per-output SAT-CSC instances are
+orders of magnitude smaller than the monolithic formula), so the
+pipeline needs per-stage visibility: where the wall clock goes, how big
+every formula was, how many states each construction explored.  This
+package is that layer, with zero third-party dependencies:
+
+* :mod:`repro.obs.tracer` -- hierarchical spans
+  (``run -> build_state_graph -> module -> project/encode/solve/propagate
+  -> sat_attempt``) with an optional JSONL journal; installed process-
+  wide like the fault registry, and a near-no-op when disabled;
+* :mod:`repro.obs.metrics` -- :class:`Counters`, the typed counter bag
+  carried by :class:`~repro.sat.solver.SolveResult`,
+  :class:`~repro.runtime.report.RunReport` and
+  :class:`~repro.bench.runner.MethodRow` alike;
+* :mod:`repro.obs.timer` -- :class:`Stopwatch`, the one
+  ``time.perf_counter()`` pattern, shared by every engine and driver;
+* :mod:`repro.obs.journal` -- reading/validating JSONL journals;
+* :mod:`repro.obs.profile` -- per-phase aggregation behind the CLI's
+  ``--metrics``/``--profile-top`` and ``tools/summarize_trace.py``.
+
+Like :mod:`repro.runtime.faults`, this package is a dependency *leaf*:
+it imports nothing from the rest of :mod:`repro`, so every layer down to
+the SAT engines can use it without cycles.
+"""
+
+from repro.obs.journal import (
+    JournalError,
+    load_journal,
+    read_events,
+    span_tree,
+    validate_events,
+)
+from repro.obs.metrics import COUNTER_GLOSSARY, Counters
+from repro.obs.profile import (
+    SpanStats,
+    aggregate_events,
+    counter_totals,
+    format_counters,
+    format_profile,
+    stats_as_dict,
+    top_spans,
+)
+from repro.obs.timer import Stopwatch
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    active,
+    add,
+    enabled,
+    event,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "COUNTER_GLOSSARY",
+    "Counters",
+    "JournalError",
+    "NULL_SPAN",
+    "Span",
+    "SpanStats",
+    "Stopwatch",
+    "Tracer",
+    "active",
+    "add",
+    "aggregate_events",
+    "counter_totals",
+    "enabled",
+    "event",
+    "format_counters",
+    "format_profile",
+    "install",
+    "load_journal",
+    "read_events",
+    "span",
+    "span_tree",
+    "stats_as_dict",
+    "top_spans",
+    "tracing",
+    "uninstall",
+    "validate_events",
+]

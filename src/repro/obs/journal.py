@@ -1,0 +1,190 @@
+"""Reading and validating JSONL trace journals.
+
+The journal a :class:`~repro.obs.tracer.Tracer` writes is a plain JSONL
+stream: a ``trace`` header, then ``start``/``end`` records per span and
+``point`` records for instant events.  This module is the read side --
+used by ``tools/summarize_trace.py``, the CI schema check, and the tests
+that assert a journal is well-formed even when the traced run failed.
+
+Well-formedness rules (checked by :func:`validate_events`):
+
+* every line parses as a JSON object with a known ``ev`` type;
+* the first event is the ``trace`` header, exactly once;
+* span ids are unique, and every ``end`` closes the innermost open
+  ``start`` with the same id and name (strict LIFO nesting);
+* every ``parent`` reference names a span that is open at that moment;
+* timestamps never run backwards;
+* no span is left open at the end of the stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import JOURNAL_VERSION
+
+#: Record types a journal may contain.
+EVENT_TYPES = ("trace", "start", "end", "point")
+
+
+class JournalError(ValueError):
+    """A journal failed to parse or violated the nesting rules."""
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        preview = "; ".join(self.problems[:3])
+        more = len(self.problems) - 3
+        if more > 0:
+            preview += f"; ... {more} more"
+        super().__init__(f"malformed trace journal: {preview}")
+
+
+def read_events(source):
+    """Parse a journal into a list of event dicts.
+
+    ``source`` is a path, an open text file, or an iterable of lines.
+    Raises :class:`JournalError` on the first unparseable line.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    elif hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = list(source)
+    events = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError([f"line {number}: invalid JSON ({exc.msg})"])
+        if not isinstance(event, dict):
+            raise JournalError([f"line {number}: not a JSON object"])
+        events.append(event)
+    return events
+
+
+def validate_events(events):
+    """Check the journal rules; returns a list of problem strings."""
+    problems = []
+    open_spans = []  # (id, name) innermost last
+    open_ids = set()
+    seen_ids = set()
+    last_t = None
+    for position, event in enumerate(events, start=1):
+        kind = event.get("ev")
+        if kind not in EVENT_TYPES:
+            problems.append(f"event {position}: unknown type {kind!r}")
+            continue
+        if position == 1:
+            if kind != "trace":
+                problems.append("event 1: journal must start with a "
+                                "'trace' header")
+            elif event.get("version") != JOURNAL_VERSION:
+                problems.append(
+                    f"event 1: unsupported journal version "
+                    f"{event.get('version')!r}"
+                )
+            continue
+        if kind == "trace":
+            problems.append(f"event {position}: duplicate 'trace' header")
+            continue
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            problems.append(f"event {position}: missing timestamp 't'")
+        else:
+            if last_t is not None and t < last_t:
+                problems.append(
+                    f"event {position}: timestamp {t} runs backwards"
+                )
+            last_t = t
+        parent = event.get("parent")
+        if parent is not None and parent not in open_ids:
+            problems.append(
+                f"event {position}: parent {parent} is not an open span"
+            )
+        if kind == "start":
+            span_id = event.get("id")
+            name = event.get("name")
+            if span_id is None or name is None:
+                problems.append(f"event {position}: start lacks id/name")
+                continue
+            if span_id in seen_ids:
+                problems.append(
+                    f"event {position}: duplicate span id {span_id}"
+                )
+            seen_ids.add(span_id)
+            open_spans.append((span_id, name))
+            open_ids.add(span_id)
+        elif kind == "end":
+            span_id = event.get("id")
+            name = event.get("name")
+            if not open_spans:
+                problems.append(
+                    f"event {position}: end of {name!r} with no open span"
+                )
+                continue
+            top_id, top_name = open_spans[-1]
+            if span_id != top_id:
+                problems.append(
+                    f"event {position}: end of span {span_id} ({name!r}) "
+                    f"but innermost open span is {top_id} ({top_name!r})"
+                )
+                # Recover so one mismatch does not cascade.
+                open_spans = [
+                    entry for entry in open_spans if entry[0] != span_id
+                ]
+                open_ids.discard(span_id)
+                continue
+            if name != top_name:
+                problems.append(
+                    f"event {position}: span {span_id} started as "
+                    f"{top_name!r} but ended as {name!r}"
+                )
+            if not isinstance(event.get("dur"), (int, float)):
+                problems.append(
+                    f"event {position}: end of {name!r} lacks a duration"
+                )
+            open_spans.pop()
+            open_ids.discard(span_id)
+    for span_id, name in open_spans:
+        problems.append(f"span {span_id} ({name!r}) never ended")
+    if not events:
+        problems.append("journal is empty")
+    return problems
+
+
+def load_journal(source):
+    """Read and validate; returns the events or raises JournalError."""
+    events = read_events(source)
+    problems = validate_events(events)
+    if problems:
+        raise JournalError(problems)
+    return events
+
+
+def span_tree(events):
+    """Nest end records as ``(record, [children...])`` trees.
+
+    Returns the list of root spans in end order.  Useful for tests that
+    assert the recorded hierarchy (run -> module -> sat_attempt).
+    """
+    parents = {}
+    for event in events:
+        if event.get("ev") == "start":
+            parents[event["id"]] = event.get("parent")
+    nodes = {}
+    roots = []
+    ends = [e for e in events if e.get("ev") == "end"]
+    for event in ends:
+        nodes[event["id"]] = (event, [])
+    for event in ends:
+        parent = parents.get(event["id"])
+        if parent is not None and parent in nodes:
+            nodes[parent][1].append(nodes[event["id"]])
+        else:
+            roots.append(nodes[event["id"]])
+    return roots

@@ -1,0 +1,48 @@
+"""The one wall-clock helper every timed code path shares.
+
+Before this module, six files hand-rolled the same three lines of
+``time.perf_counter()`` bookkeeping (record a start, subtract it for the
+elapsed time, compare the difference against a deadline).
+:class:`Stopwatch` is that pattern, once -- and the place where a future
+clock change (monotonic source, virtualised test time) happens exactly
+once.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A started wall-clock timer.
+
+    Parameters
+    ----------
+    clock:
+        Injectable time source (tests pass a fake for deterministic
+        deadlines), defaulting to :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("_clock", "started")
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.started = clock()
+
+    def elapsed(self):
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return self._clock() - self.started
+
+    def exceeded(self, max_seconds):
+        """True when a (possibly ``None`` = unlimited) budget has passed."""
+        return max_seconds is not None and self.elapsed() > max_seconds
+
+    def restart(self):
+        """Reset the start time; returns the elapsed time it discarded."""
+        now = self._clock()
+        elapsed = now - self.started
+        self.started = now
+        return elapsed
+
+    def __repr__(self):
+        return f"Stopwatch(elapsed={self.elapsed():.6f}s)"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import obs
 from repro.petrinet.errors import UnboundedNetError
 from repro.runtime.faults import should_fire as _fault_fires
 
@@ -134,6 +135,10 @@ def reachability_graph(
                 order.append(successor)
                 queue.append(successor)
             edges.append((marking, transition, successor))
+    # Counters land on the enclosing span (the builder's "reachability"
+    # phase); recorded once at the end, never inside the BFS loop.
+    obs.add("states_explored", len(order))
+    obs.add("edges_explored", len(edges))
     return ReachabilityGraph(initial, order, edges)
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import ReproError
+from repro.obs import add as _obs_add
 
 
 class BudgetExhaustedError(ReproError):
@@ -99,8 +100,14 @@ class Budget:
         return remaining is not None and remaining <= 0
 
     def checkpoint(self, point=""):
-        """Cooperative deadline check; raises when the budget is gone."""
+        """Cooperative deadline check; raises when the budget is gone.
+
+        Checkpoints double as the tracer's heartbeat: each one adds a
+        ``checkpoints`` tick to the current span, giving per-phase
+        checkpoint counts for free (a no-op with tracing disabled).
+        """
         self.checkpoints += 1
+        _obs_add("checkpoints")
         if self.expired():
             self.exhausted_at = point
             raise BudgetExhaustedError(

@@ -11,6 +11,8 @@ status mapped onto the CLI's exit codes.
 
 from __future__ import annotations
 
+from repro.obs import Counters
+
 #: Per-module statuses.
 MODULE_OK = "ok"
 MODULE_DEGRADED = "degraded"
@@ -76,6 +78,10 @@ class RunReport:
         The terminal exception for ``timeout``/``error`` runs.
     budget:
         :meth:`repro.runtime.budget.Budget.snapshot` of consumption.
+    metrics:
+        :class:`~repro.obs.metrics.Counters` aggregated over the
+        modules (and budget consumption) by :meth:`finish` -- the same
+        bag type solver results and bench rows carry.
     """
 
     def __init__(self, method="modular", engine="hybrid"):
@@ -86,6 +92,7 @@ class RunReport:
         self.result = None
         self.error = None
         self.budget = {}
+        self.metrics = Counters()
         self.verified = None
 
     # -- construction ------------------------------------------------------
@@ -100,7 +107,7 @@ class RunReport:
         return entry
 
     def finish(self, status=None, result=None, error=None, budget=None):
-        """Seal the report; derives the status when not forced."""
+        """Seal the report; derives the status and metrics when not forced."""
         if status is not None:
             self.status = status
         elif any(m.status != MODULE_OK for m in self.modules):
@@ -113,7 +120,26 @@ class RunReport:
             self.error = error
         if budget is not None:
             self.budget = budget.snapshot()
+        self.metrics = self.aggregate()
         return self
+
+    def aggregate(self):
+        """Fold the per-module statuses into one :class:`Counters` bag.
+
+        Safe on any report shape: an empty module list yields all-zero
+        counters (an empty bag), and a sealed budget snapshot
+        contributes its consumption counters.
+        """
+        metrics = Counters()
+        for entry in self.modules:
+            metrics.add(f"modules_{entry.status}")
+            metrics.add("signals_added", entry.signals_added)
+            metrics.add("escalations", entry.escalations)
+        if self.budget.get("backtracks_used"):
+            metrics.add("backtracks", self.budget["backtracks_used"])
+        if self.budget.get("checkpoints"):
+            metrics.add("checkpoints", self.budget["checkpoints"])
+        return metrics
 
     # -- inspection --------------------------------------------------------
 

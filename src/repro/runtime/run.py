@@ -10,6 +10,7 @@ exceptions decide the process outcome.  Only genuine bugs (non-
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import ReproError
 from repro.runtime.budget import Budget, BudgetExhaustedError
 from repro.runtime.report import (
@@ -56,43 +57,47 @@ def run_synthesis(stg, method="modular", engine="hybrid", budget=None,
     if budget is None:
         budget = Budget.unlimited()
 
-    try:
-        if method == "modular":
-            result = modular_synthesis(
-                stg, limits=limits, minimize=minimize, engine=engine,
-                budget=budget, fallback=fallback, degrade=fallback,
-            )
-            report = result.report
-        elif method == "direct":
-            result = direct_synthesis(
-                stg, limits=limits, minimize=minimize, engine=engine,
-                budget=budget, fallback=fallback,
-            )
+    with obs.span("run", method=method, engine=engine) as run_span:
+        try:
+            if method == "modular":
+                result = modular_synthesis(
+                    stg, limits=limits, minimize=minimize, engine=engine,
+                    budget=budget, fallback=fallback, degrade=fallback,
+                )
+                report = result.report
+            elif method == "direct":
+                result = direct_synthesis(
+                    stg, limits=limits, minimize=minimize, engine=engine,
+                    budget=budget, fallback=fallback,
+                )
+                report = RunReport(method=method, engine=engine)
+                report.finish(budget=budget)
+            elif method == "lavagno":
+                result = lavagno_synthesis(
+                    stg, limits=limits, minimize=minimize, engine=engine
+                )
+                report = RunReport(method=method, engine=engine)
+                report.finish(budget=budget)
+            else:
+                raise ValueError(f"unknown synthesis method {method!r}")
+        except BudgetExhaustedError as exc:
+            report = exc.report
+            if report is None:
+                report = RunReport(method=method, engine=engine)
+                report.finish(status=RUN_TIMEOUT, error=exc, budget=budget)
+            report.method = method
+            report.engine = engine
+            run_span.set("status", report.status)
+            return report
+        except ReproError as exc:
             report = RunReport(method=method, engine=engine)
-            report.finish(budget=budget)
-        elif method == "lavagno":
-            result = lavagno_synthesis(
-                stg, limits=limits, minimize=minimize, engine=engine
-            )
-            report = RunReport(method=method, engine=engine)
-            report.finish(budget=budget)
-        else:
-            raise ValueError(f"unknown synthesis method {method!r}")
-    except BudgetExhaustedError as exc:
-        report = exc.report
-        if report is None:
-            report = RunReport(method=method, engine=engine)
-            report.finish(status=RUN_TIMEOUT, error=exc, budget=budget)
-        report.method = method
-        report.engine = engine
+            # A solve clipped to the remaining wall time reports its
+            # failure as a limit/synthesis error; once the deadline has
+            # passed, the deadline is the dominant cause.
+            status = RUN_TIMEOUT if budget.expired() else RUN_ERROR
+            report.finish(status=status, error=exc, budget=budget)
+            run_span.set("status", report.status)
+            return report
+        report.result = result
+        run_span.set("status", report.status)
         return report
-    except ReproError as exc:
-        report = RunReport(method=method, engine=engine)
-        # A solve clipped to the remaining wall time reports its failure
-        # as a limit/synthesis error; once the deadline has passed, the
-        # deadline is the dominant cause.
-        status = RUN_TIMEOUT if budget.expired() else RUN_ERROR
-        report.finish(status=status, error=exc, budget=budget)
-        return report
-    report.result = result
-    return report

@@ -19,6 +19,7 @@ with SIS, Stephan et al. 1992).  This package provides:
 * :mod:`repro.sat.encode` -- small clause-encoding helpers.
 """
 
+from repro import obs
 from repro.runtime.faults import should_fire as _fault_fires
 from repro.sat.cnf import Cnf
 from repro.sat.bdd_engine import solve_bdd
@@ -75,6 +76,8 @@ def solve_with(cnf, limits=None, engine="hybrid", fallback=False,
         return result
     trail = [(engine, result.status)]
     for rung_engine, rung_limits in _ladder(engine, limits, budget):
+        obs.add("escalations")
+        obs.event("escalate", engine=rung_engine)
         result = _solve_once(cnf, rung_limits, rung_engine)
         trail.append((rung_engine, result.status))
         if result.status != LIMIT:

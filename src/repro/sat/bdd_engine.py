@@ -14,9 +14,8 @@ they do for search budgets.
 
 from __future__ import annotations
 
-import time
-
 from repro.bdd.manager import BddManager, BddOverflowError, FALSE
+from repro.obs import Stopwatch
 from repro.runtime.faults import should_fire as _fault_fires
 from repro.sat.solver import LIMIT, SAT, UNSAT, SolveResult
 
@@ -57,24 +56,25 @@ def solve_bdd(cnf, limits=None, max_nodes=None):
     node table via :func:`nodes_for_limits` (overridden by an explicit
     ``max_nodes``).  A blow-up in nodes or time yields :data:`LIMIT`.
     """
-    started = time.perf_counter()
-    deadline = None
-    if limits is not None and limits.max_seconds is not None:
-        deadline = started + limits.max_seconds
+    watch = Stopwatch()
+    max_seconds = limits.max_seconds if limits is not None else None
     if max_nodes is None:
         max_nodes = nodes_for_limits(limits)
 
     manager = BddManager(cnf.num_vars, max_nodes=max_nodes)
 
     def result(status, assignment=None):
-        return SolveResult(
-            status, assignment, 0, 0, 0, time.perf_counter() - started
-        )
+        # The node count rides on the result's metrics; the enclosing
+        # sat_attempt span merges them, so no direct obs.add here (it
+        # would double-count).
+        outcome = SolveResult(status, assignment, 0, 0, 0, watch.elapsed())
+        outcome.metrics.add("bdd_nodes", manager.num_nodes)
+        return outcome
 
     if _fault_fires("bdd-blowup"):
         return result(LIMIT)
     try:
-        function = _build(manager, cnf, deadline)
+        function = _build(manager, cnf, watch, max_seconds)
     except BddOverflowError:
         return result(LIMIT)
     except TimeoutError:
@@ -85,13 +85,13 @@ def solve_bdd(cnf, limits=None, max_nodes=None):
     return result(SAT, model)
 
 
-def _build(manager, cnf, deadline):
+def _build(manager, cnf, watch, max_seconds):
     function = 1
     clauses = sorted(
         cnf.clauses, key=lambda c: min((abs(l) for l in c), default=0)
     )
     for clause_literals in clauses:
-        if deadline is not None and time.perf_counter() > deadline:
+        if watch.exceeded(max_seconds):
             raise TimeoutError
         function = manager.apply_and(
             function, manager.clause(clause_literals)

@@ -15,8 +15,7 @@ meaningful for both engines.
 
 from __future__ import annotations
 
-import time
-
+from repro.obs import Stopwatch
 from repro.sat.solver import LIMIT, SAT, UNSAT, Limits, SolveResult
 
 _ACTIVITY_DECAY = 0.95
@@ -212,7 +211,7 @@ class _Cdcl:
     # -- main loop ----------------------------------------------------------------
 
     def run(self):
-        started = time.perf_counter()
+        watch = Stopwatch()
 
         def result(status):
             assignment = None
@@ -223,7 +222,7 @@ class _Cdcl:
                 }
             return SolveResult(
                 status, assignment, self.decisions, self.propagations,
-                self.conflicts, time.perf_counter() - started,
+                self.conflicts, watch.elapsed(),
             )
 
         # Install watches; queue unit clauses.
@@ -265,11 +264,7 @@ class _Cdcl:
                     and self.conflicts >= self.limits.max_backtracks
                 ):
                     return result(LIMIT)
-                if (
-                    self.limits.max_seconds is not None
-                    and time.perf_counter() - started
-                    > self.limits.max_seconds
-                ):
+                if watch.exceeded(self.limits.max_seconds):
                     return result(LIMIT)
                 if self._current_level() == 0:
                     return result(UNSAT)

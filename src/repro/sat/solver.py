@@ -9,7 +9,7 @@ the paper's "backtrack limit": Table 1's large direct formulas abort with
 
 from __future__ import annotations
 
-import time
+from repro.obs import Counters, Stopwatch
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -43,23 +43,43 @@ class SolveResult:
         :data:`SAT`, :data:`UNSAT` or :data:`LIMIT`.
     assignment:
         dict ``var -> bool`` when satisfiable, else ``None``.
-    decisions, propagations, backtracks:
-        Search statistics.
-    seconds:
-        Wall-clock time spent.
+    metrics:
+        A :class:`~repro.obs.metrics.Counters` bag holding the search
+        statistics (``decisions``, ``propagations``, ``backtracks``,
+        ``seconds``, plus engine-specific counters such as
+        ``bdd_nodes``).  The classic statistic names remain available as
+        properties reading from it.
     """
 
     def __init__(self, status, assignment, decisions, propagations,
-                 backtracks, seconds):
+                 backtracks, seconds, metrics=None):
         self.status = status
         self.assignment = assignment
-        self.decisions = decisions
-        self.propagations = propagations
-        self.backtracks = backtracks
-        self.seconds = seconds
+        if metrics is None:
+            metrics = Counters(
+                decisions=decisions, propagations=propagations,
+                backtracks=backtracks, seconds=seconds,
+            )
+        self.metrics = metrics
         #: ``(engine, status)`` rungs when the fallback ladder ran
         #: (:func:`repro.sat.solve_with`), else ``None``.
         self.escalations = None
+
+    @property
+    def decisions(self):
+        return self.metrics["decisions"]
+
+    @property
+    def propagations(self):
+        return self.metrics["propagations"]
+
+    @property
+    def backtracks(self):
+        return self.metrics["backtracks"]
+
+    @property
+    def seconds(self):
+        return self.metrics["seconds"]
 
     @property
     def is_sat(self):
@@ -218,7 +238,7 @@ class _Search:
     # -- main loop ---------------------------------------------------------------
 
     def run(self):
-        start = time.perf_counter()
+        watch = Stopwatch()
 
         def result(status):
             assignment = None
@@ -228,7 +248,7 @@ class _Search:
                 }
             return SolveResult(
                 status, assignment, self.decisions, self.propagations,
-                self.backtracks, time.perf_counter() - start,
+                self.backtracks, watch.elapsed(),
             )
 
         units = self._init_watches()
@@ -260,10 +280,7 @@ class _Search:
                     and self.backtracks >= self.limits.max_backtracks
                 ):
                     return result(LIMIT)
-                if (
-                    self.limits.max_seconds is not None
-                    and time.perf_counter() - start > self.limits.max_seconds
-                ):
+                if watch.exceeded(self.limits.max_seconds):
                     return result(LIMIT)
                 flipped = self._backtrack()
                 if flipped is None:

@@ -12,6 +12,7 @@ synthesised.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.petrinet.reachability import reachability_graph
 from repro.stg.errors import StgValidationError
 from repro.stategraph.graph import EPSILON, StateGraph
@@ -121,41 +122,48 @@ def build_state_graph(stg, contract_dummies=True, budget=None,
     -------
     StateGraph
     """
-    reach = reachability_graph(stg.net, budget=budget, **explore_kwargs)
-    if budget is not None:
-        budget.checkpoint("state-graph")
-    for marking in reach.markings:
-        if not marking.is_safe():
-            raise StgValidationError(
-                f"STG is not 1-safe: reachable marking {marking!r}"
+    with obs.span("build_state_graph"):
+        with obs.span("reachability"):
+            reach = reachability_graph(
+                stg.net, budget=budget, **explore_kwargs
             )
-    values = infer_signal_values(stg, reach)
-    if budget is not None:
-        budget.checkpoint("signal-values")
+        if budget is not None:
+            budget.checkpoint("state-graph")
+        for marking in reach.markings:
+            if not marking.is_safe():
+                raise StgValidationError(
+                    f"STG is not 1-safe: reachable marking {marking!r}"
+                )
+        with obs.span("signal_values"):
+            values = infer_signal_values(stg, reach)
+        if budget is not None:
+            budget.checkpoint("signal-values")
 
-    signals = tuple(stg.signals)
-    index = {marking: i for i, marking in enumerate(reach.markings)}
-    codes = [
-        tuple(values[marking][s] for s in signals)
-        for marking in reach.markings
-    ]
-    edges = []
-    for source, transition, target in reach.edges:
-        label = stg.label(transition)
-        if label.is_dummy:
-            edge_label = EPSILON
-        else:
-            edge_label = (label.signal, label.direction)
-        edges.append((index[source], edge_label, index[target]))
+        signals = tuple(stg.signals)
+        index = {marking: i for i, marking in enumerate(reach.markings)}
+        codes = [
+            tuple(values[marking][s] for s in signals)
+            for marking in reach.markings
+        ]
+        edges = []
+        for source, transition, target in reach.edges:
+            label = stg.label(transition)
+            if label.is_dummy:
+                edge_label = EPSILON
+            else:
+                edge_label = (label.signal, label.direction)
+            edges.append((index[source], edge_label, index[target]))
 
-    graph = StateGraph(
-        signals,
-        codes,
-        edges,
-        non_inputs=stg.non_inputs,
-        initial=index[reach.initial],
-        markings=reach.markings,
-    )
-    if contract_dummies and any(label is EPSILON for _s, label, _t in edges):
-        graph = quotient(graph, hidden_signals=()).graph
-    return graph
+        graph = StateGraph(
+            signals,
+            codes,
+            edges,
+            non_inputs=stg.non_inputs,
+            initial=index[reach.initial],
+            markings=reach.markings,
+        )
+        if contract_dummies and any(
+            label is EPSILON for _s, label, _t in edges
+        ):
+            graph = quotient(graph, hidden_signals=()).graph
+        return graph

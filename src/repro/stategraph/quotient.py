@@ -12,6 +12,7 @@ exactly the ``cover()`` relation used by the propagation step (Section
 
 from __future__ import annotations
 
+from repro import obs
 from repro.stategraph.graph import EPSILON, StateGraph
 
 
@@ -169,6 +170,12 @@ def quotient(base, hidden_signals):
         non_inputs=base.non_inputs - hidden,
         initial=cover[base.initial],
     )
+    # The quotient is called inside tight derivation loops; counters only,
+    # no span of its own (the callers open "project"/"input_set" spans).
+    if obs.enabled():
+        obs.add("quotients")
+        obs.add("eps_merges", base.num_states - len(blocks))
+        obs.add("cover_map_size", len(cover))
     return QuotientGraph(base, graph, cover, blocks, hidden)
 
 

@@ -1,0 +1,122 @@
+"""BENCH_<tag>.json emission and its schema checker agree."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.bench.runner import (
+    BENCH_SCHEMA,
+    MethodRow,
+    table_rows,
+    write_bench_json,
+)
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "tools", "check_bench_schema.py",
+)
+
+
+@pytest.fixture(scope="module")
+def schema_check():
+    spec = importlib.util.spec_from_file_location("check_bench_schema", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table_rows(names=["vbe-ex1"], methods=("modular", "lavagno"))
+
+
+def test_method_row_counters_replace_adhoc_fields():
+    row = MethodRow(
+        "x", "modular", initial_states=4, initial_signals=2,
+        backtracks=7, escalations=1, degraded=2, skipped=1,
+    )
+    assert row.backtracks == 7
+    assert row.escalations == 1
+    assert row.degraded == 2
+    assert row.skipped == 1
+    assert row.metrics == {
+        "backtracks": 7, "escalations": 1,
+        "modules_degraded": 2, "modules_skipped": 1,
+    }
+
+
+def test_method_row_as_dict_is_json_ready():
+    row = MethodRow(
+        "x", "direct", initial_states=4, initial_signals=2,
+        cpu=1.23456789, note="backtrack-limit",
+        formula_sizes=[(10, 5)],
+    )
+    snapshot = row.as_dict()
+    json.dumps(snapshot)  # must serialise without a custom encoder
+    assert snapshot["cpu"] == 1.234568
+    assert snapshot["note"] == "backtrack-limit"
+    assert snapshot["formula_sizes"] == [[10, 5]]
+
+
+def test_write_bench_json_document_shape(rows, tmp_path):
+    path = write_bench_json(rows, "unit", out_dir=str(tmp_path))
+    assert os.path.basename(path) == "BENCH_unit.json"
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["schema"] == BENCH_SCHEMA
+    assert document["tag"] == "unit"
+    assert len(document["rows"]) == 2
+    methods = {row["method"] for row in document["rows"]}
+    assert methods == {"modular", "lavagno"}
+    assert document["spans"] is None  # no tracer was active
+
+
+def test_write_bench_json_includes_tracer_spans(rows, tmp_path):
+    with obs.tracing() as tracer:
+        with obs.span("module"):
+            obs.add("sat_attempts", 3)
+    path = write_bench_json(
+        rows, "spans", out_dir=str(tmp_path), tracer=tracer
+    )
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["spans"]["module"]["count"] == 1
+    assert document["spans"]["module"]["counters"]["sat_attempts"] == 3
+
+
+def test_written_document_passes_the_schema_check(rows, tmp_path,
+                                                  schema_check):
+    with obs.tracing() as tracer:
+        with obs.span("module"):
+            pass
+    path = write_bench_json(rows, "ok", out_dir=str(tmp_path), tracer=tracer)
+    assert schema_check.check_file(path) == []
+    assert schema_check.main([path]) == 0
+
+
+def test_schema_check_rejects_corrupted_documents(rows, tmp_path,
+                                                  schema_check):
+    path = write_bench_json(rows, "bad", out_dir=str(tmp_path))
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["schema"] = "repro-bench/999"
+    del document["rows"][0]["counters"]
+    document["rows"][1]["formula_sizes"] = [["not", "ints"]]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    problems = schema_check.check_file(path)
+    assert any("schema" in p for p in problems)
+    assert any("counters" in p for p in problems)
+    assert any("formula_sizes" in p for p in problems)
+    assert schema_check.main([path]) == 1
+
+
+def test_schema_check_rejects_non_json(tmp_path, schema_check):
+    path = tmp_path / "BENCH_junk.json"
+    path.write_text("not json at all")
+    problems = schema_check.check_file(str(path))
+    assert problems and problems[0].startswith("not valid JSON")
+    assert schema_check.main([str(path)]) == 1

@@ -1,0 +1,199 @@
+"""Journal well-formedness, including under injected pipeline faults."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    JournalError,
+    aggregate_events,
+    load_journal,
+    read_events,
+    span_tree,
+    validate_events,
+)
+from repro.runtime import faults
+from repro.runtime.run import run_synthesis
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    faults.clear()
+    yield
+    faults.clear()
+    obs.uninstall()
+
+
+def _traced_run(**kwargs):
+    """Run one synthesis with tracing; returns the parsed events."""
+    sink = io.StringIO()
+    stg = parse_g(CSC_CONFLICT)
+    with obs.tracing(journal=sink):
+        report = run_synthesis(stg, **kwargs)
+    sink.seek(0)
+    return read_events(sink), report
+
+
+def test_successful_run_writes_wellformed_journal():
+    events, report = _traced_run()
+    assert report.status == "ok"
+    assert validate_events(events) == []
+    names = [e["name"] for e in events if e.get("ev") == "start"]
+    assert "run" in names
+    assert "build_state_graph" in names
+    assert "module" in names
+    assert "sat_attempt" in names
+
+
+def test_spans_nest_run_module_sat_attempt():
+    events, _ = _traced_run()
+    roots = span_tree(events)
+    assert [record["name"] for record, _ in roots] == ["run"]
+    _, children = roots[0]
+    child_names = {record["name"] for record, _ in children}
+    assert "build_state_graph" in child_names
+    assert "module" in child_names
+    modules = [node for node in children if node[0]["name"] == "module"]
+    grandchildren = {
+        record["name"] for module in modules for record, _ in module[1]
+    }
+    # Not every output needs a SAT solve, but at least one does here.
+    assert "sat_attempt" in grandchildren
+    assert "input_set" in grandchildren
+    assert "propagate" in grandchildren
+
+
+def test_solve_spans_carry_formula_sizes():
+    events, _ = _traced_run()
+    attempts = [
+        e for e in events
+        if e.get("ev") == "end" and e.get("name") == "sat_attempt"
+    ]
+    assert attempts
+    for attempt in attempts:
+        counters = attempt.get("counters", {})
+        assert counters.get("num_clauses", 0) > 0
+        assert counters.get("num_vars", 0) > 0
+
+
+def test_journal_wellformed_under_injected_module_fault():
+    # The module-solve fault makes one output's modular pass raise; the
+    # run degrades, and the journal must still nest and close cleanly.
+    with faults.injected("module-solve"):
+        events, report = _traced_run()
+    assert report.status == "degraded"
+    assert validate_events(events) == []
+    module_ends = [
+        e for e in events
+        if e.get("ev") == "end" and e.get("name") == "module"
+    ]
+    statuses = {e.get("attrs", {}).get("status") for e in module_ends}
+    assert "degraded" in statuses
+
+
+def test_journal_wellformed_when_reachability_raises():
+    # A fault *inside* build_state_graph propagates as an error run; the
+    # exception class is recorded on the span and nothing is left open.
+    with faults.injected("reachability-overflow"):
+        events, report = _traced_run()
+    assert report.status == "error"
+    assert validate_events(events) == []
+    build_end = next(
+        e for e in events
+        if e.get("ev") == "end" and e.get("name") == "build_state_graph"
+    )
+    assert build_end["attrs"]["error"] == "UnboundedNetError"
+
+
+def test_aggregate_events_matches_live_tracer_fold():
+    sink = io.StringIO()
+    stg = parse_g(CSC_CONFLICT)
+    with obs.tracing(journal=sink) as tracer:
+        run_synthesis(stg)
+        live = tracer.stats_dict()
+    sink.seek(0)
+    replayed = aggregate_events(read_events(sink))
+    assert set(replayed) == set(live)
+    for name, entry in replayed.items():
+        assert entry.count == live[name]["count"]
+        assert entry.counters.as_dict() == live[name]["counters"]
+
+
+# -- validator rejection cases ---------------------------------------------
+
+
+def _header():
+    return {"ev": "trace", "version": 1}
+
+
+def test_validator_requires_header_first():
+    problems = validate_events([
+        {"ev": "start", "id": 1, "name": "run", "t": 0.0},
+        {"ev": "end", "id": 1, "name": "run", "t": 1.0, "dur": 1.0},
+    ])
+    assert any("header" in p for p in problems)
+
+
+def test_validator_rejects_unclosed_span():
+    problems = validate_events([
+        _header(),
+        {"ev": "start", "id": 1, "name": "run", "t": 0.0},
+    ])
+    assert any("never ended" in p for p in problems)
+
+
+def test_validator_rejects_non_lifo_ends():
+    problems = validate_events([
+        _header(),
+        {"ev": "start", "id": 1, "name": "run", "t": 0.0},
+        {"ev": "start", "id": 2, "name": "module", "t": 0.1, "parent": 1},
+        {"ev": "end", "id": 1, "name": "run", "t": 0.2, "dur": 0.2},
+        {"ev": "end", "id": 2, "name": "module", "t": 0.3, "dur": 0.2},
+    ])
+    assert any("innermost" in p for p in problems)
+
+
+def test_validator_rejects_backwards_timestamps():
+    problems = validate_events([
+        _header(),
+        {"ev": "point", "name": "a", "t": 5.0},
+        {"ev": "point", "name": "b", "t": 1.0},
+    ])
+    assert any("backwards" in p for p in problems)
+
+
+def test_validator_rejects_unknown_parent():
+    problems = validate_events([
+        _header(),
+        {"ev": "start", "id": 1, "name": "run", "t": 0.0, "parent": 99},
+        {"ev": "end", "id": 1, "name": "run", "t": 1.0, "dur": 1.0},
+    ])
+    assert any("not an open span" in p for p in problems)
+
+
+def test_validator_rejects_duplicate_header_and_bad_version():
+    assert any(
+        "duplicate" in p
+        for p in validate_events([_header(), _header()])
+    )
+    assert any(
+        "version" in p
+        for p in validate_events([{"ev": "trace", "version": 99}])
+    )
+
+
+def test_read_events_rejects_invalid_json():
+    with pytest.raises(JournalError):
+        read_events(["{not json"])
+
+
+def test_load_journal_raises_with_problem_list():
+    lines = [json.dumps({"ev": "start", "id": 1, "name": "x", "t": 0.0})]
+    with pytest.raises(JournalError) as excinfo:
+        load_journal(lines)
+    assert excinfo.value.problems

@@ -1,0 +1,114 @@
+"""Counters semantics and the results that carry them."""
+
+from repro.obs import COUNTER_GLOSSARY, Counters
+from repro.sat import SAT, Cnf, solve_with
+from repro.sat.solver import SolveResult
+
+
+def test_add_accumulates_and_returns_total():
+    counters = Counters()
+    assert counters.add("backtracks") == 1
+    assert counters.add("backtracks", 4) == 5
+    assert counters["backtracks"] == 5
+
+
+def test_missing_counters_read_as_zero():
+    counters = Counters()
+    assert counters["decisions"] == 0
+    assert counters.get("decisions") == 0
+    assert "decisions" not in counters
+
+
+def test_zero_delta_on_absent_key_creates_no_entry():
+    counters = Counters()
+    assert counters.add("signals_added", 0) == 0
+    assert "signals_added" not in counters
+    assert not counters
+    # ... but adding 0 to an existing counter keeps it.
+    counters.add("signals_added", 2)
+    counters.add("signals_added", 0)
+    assert counters["signals_added"] == 2
+
+
+def test_constructor_drops_zero_values():
+    counters = Counters(decisions=3, backtracks=0)
+    assert counters.as_dict() == {"decisions": 3}
+
+
+def test_merge_counters_and_plain_dict():
+    left = Counters(decisions=1, seconds=0.5)
+    left.merge(Counters(decisions=2, backtracks=7))
+    left.merge({"seconds": 0.25})
+    assert left == {"decisions": 3, "backtracks": 7, "seconds": 0.75}
+
+
+def test_merge_returns_self_for_chaining():
+    bag = Counters(a=1).merge({"b": 2}).merge({"a": 1})
+    assert bag == {"a": 2, "b": 2}
+
+
+def test_as_dict_is_sorted_snapshot():
+    counters = Counters(zeta=1, alpha=2)
+    snapshot = counters.as_dict()
+    assert list(snapshot) == ["alpha", "zeta"]
+    snapshot["alpha"] = 99  # the snapshot is a copy
+    assert counters["alpha"] == 2
+
+
+def test_equality_against_counters_and_dict():
+    assert Counters(a=1) == Counters(a=1)
+    assert Counters(a=1) == {"a": 1}
+    assert Counters(a=1) != {"a": 2}
+
+
+def test_iteration_is_sorted_and_len_counts_entries():
+    counters = Counters(b=1, a=2)
+    assert list(counters) == ["a", "b"]
+    assert len(counters) == 2
+
+
+def test_glossary_names_are_snake_case_strings():
+    for name, description in COUNTER_GLOSSARY.items():
+        assert name == name.lower()
+        assert " " not in name
+        assert description
+
+
+def test_solve_result_builds_metrics_from_legacy_args():
+    result = SolveResult(SAT, {1: True}, 3, 17, 2, 0.5)
+    assert result.metrics == {
+        "decisions": 3, "propagations": 17, "backtracks": 2, "seconds": 0.5,
+    }
+    # The classic statistic names read from the shared bag.
+    assert result.decisions == 3
+    assert result.propagations == 17
+    assert result.backtracks == 2
+    assert result.seconds == 0.5
+
+
+def test_solver_results_carry_counters_bag():
+    cnf = Cnf()
+    a, b = cnf.new_var("a"), cnf.new_var("b")
+    cnf.add_clause([a, b])
+    cnf.add_clause([-a])
+    result = solve_with(cnf, engine="dpll")
+    assert result.status == SAT
+    assert isinstance(result.metrics, Counters)
+    assert result.metrics["propagations"] == result.propagations
+    assert result.metrics["seconds"] >= 0
+
+
+def test_attempt_stats_fold_formula_size_and_solver_metrics():
+    from repro.csc.solve import AttemptStats
+
+    cnf = Cnf()
+    a = cnf.new_var("a")
+    cnf.add_clause([a])
+    result = solve_with(cnf, engine="dpll")
+    attempt = AttemptStats(2, num_vars=5, num_clauses=9, result=result)
+    assert attempt.num_vars == 5
+    assert attempt.num_clauses == 9
+    assert attempt.metrics["num_clauses"] == 9
+    # The solver's own counters are merged into the same bag.
+    assert attempt.metrics["propagations"] == result.propagations
+    assert attempt.backtracks == result.backtracks

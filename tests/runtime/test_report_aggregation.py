@@ -1,0 +1,95 @@
+"""RunReport metric aggregation edge cases and exit-code stability."""
+
+from repro.obs import Counters
+from repro.runtime.budget import Budget
+from repro.runtime.report import (
+    EXIT_CODES,
+    MODULE_DEGRADED,
+    MODULE_OK,
+    MODULE_SKIPPED,
+    RUN_DEGRADED,
+    RUN_ERROR,
+    RUN_OK,
+    RUN_TIMEOUT,
+    RunReport,
+)
+
+
+def test_exit_codes_are_a_stable_contract():
+    # Scripts and CI gate on these exact values; changing them is a
+    # breaking change, not a refactor.
+    assert EXIT_CODES == {
+        RUN_OK: 0,
+        RUN_ERROR: 1,
+        RUN_DEGRADED: 2,
+        RUN_TIMEOUT: 3,
+    }
+
+
+def test_fresh_report_has_empty_metrics_bag():
+    report = RunReport()
+    assert isinstance(report.metrics, Counters)
+    assert not report.metrics
+
+
+def test_empty_module_list_aggregates_to_empty_bag():
+    report = RunReport().finish()
+    assert report.status == RUN_OK
+    assert report.exit_code == 0
+    assert report.metrics.as_dict() == {}
+    # Absent counters still read as zero.
+    assert report.metrics["modules_ok"] == 0
+
+
+def test_all_skipped_run_aggregates_and_degrades():
+    report = RunReport()
+    report.add_module("a", status=MODULE_SKIPPED)
+    report.add_module("b", status=MODULE_SKIPPED)
+    report.finish()
+    assert report.status == RUN_DEGRADED
+    assert report.exit_code == 2
+    assert report.metrics == {"modules_skipped": 2}
+    assert report.metrics["modules_ok"] == 0
+
+
+def test_mixed_statuses_fold_into_per_status_counts():
+    report = RunReport()
+    report.add_module("a", status=MODULE_OK, signals_added=2)
+    report.add_module("b", status=MODULE_DEGRADED, escalations=1)
+    report.add_module("c", status=MODULE_SKIPPED)
+    report.finish()
+    assert report.metrics == {
+        "modules_ok": 1,
+        "modules_degraded": 1,
+        "modules_skipped": 1,
+        "signals_added": 2,
+        "escalations": 1,
+    }
+
+
+def test_budget_consumption_contributes_counters():
+    budget = Budget(max_seconds=100.0)
+    budget.charge_backtracks(42)
+    budget.checkpoint("somewhere")
+    report = RunReport()
+    report.add_module("a", status=MODULE_OK)
+    report.finish(budget=budget)
+    assert report.metrics["backtracks"] == 42
+    assert report.metrics["checkpoints"] == 1
+
+
+def test_forced_status_still_aggregates_metrics():
+    report = RunReport()
+    report.add_module("a", status=MODULE_OK, signals_added=1)
+    report.finish(status=RUN_TIMEOUT)
+    assert report.status == RUN_TIMEOUT
+    assert report.exit_code == 3
+    assert report.metrics["modules_ok"] == 1
+
+
+def test_finish_twice_does_not_double_count():
+    report = RunReport()
+    report.add_module("a", status=MODULE_OK, signals_added=3)
+    report.finish()
+    report.finish()
+    assert report.metrics == {"modules_ok": 1, "signals_added": 3}

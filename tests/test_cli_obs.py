@@ -1,0 +1,127 @@
+"""The observability flags of ``python -m repro`` and their composition."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.obs import load_journal
+from repro.runtime import faults
+
+from tests.example_stgs import CSC_CONFLICT
+
+
+@pytest.fixture
+def spec(tmp_path):
+    path = tmp_path / "spec.g"
+    path.write_text(CSC_CONFLICT)
+    return str(path)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    faults.clear()
+    yield
+    faults.clear()
+    assert obs.active() is None, "the CLI left a tracer installed"
+
+
+def test_trace_writes_wellformed_journal_even_with_quiet(spec, tmp_path,
+                                                         capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main([spec, "--quiet", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert " = " not in out  # --quiet still suppresses the equations
+    events = load_journal(str(trace))  # raises if malformed
+    names = {e.get("name") for e in events}
+    assert "run" in names
+    assert "sat_attempt" in names
+
+
+def test_metrics_prints_counter_totals_despite_quiet(spec, capsys):
+    assert main([spec, "--quiet", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "sat_attempts" in out
+    assert "states_explored" in out
+
+
+def test_profile_top_prints_span_table(spec, capsys):
+    assert main([spec, "--quiet", "--profile-top", "3"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.startswith("run ")]
+    assert lines, out
+    # Header + exactly N span rows.
+    header_index = next(
+        i for i, line in enumerate(out.splitlines())
+        if line.startswith("span")
+    )
+    assert len(out.splitlines()) - header_index - 1 == 3
+
+
+def test_without_flags_no_tracer_is_installed(spec, capsys):
+    assert main([spec, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "span" not in out
+    assert "sat_attempts" not in out
+
+
+def test_trace_written_on_degraded_run_and_exit_code_unchanged(
+        spec, tmp_path, capsys):
+    trace = tmp_path / "degraded.jsonl"
+    with faults.injected("module-solve"):
+        code = main([spec, "--quiet", "--trace", str(trace)])
+    capsys.readouterr()
+    assert code == 2  # observability flags never change the exit code
+    events = load_journal(str(trace))
+    module_ends = [
+        e for e in events
+        if e.get("ev") == "end" and e.get("name") == "module"
+    ]
+    assert any(
+        e.get("attrs", {}).get("status") == "degraded" for e in module_ends
+    )
+
+
+def test_trace_written_on_error_run(spec, tmp_path, capsys):
+    # With fallback disabled, a module fault is fatal; the journal must
+    # still be written and closed for the failed run.
+    trace = tmp_path / "error.jsonl"
+    with faults.injected("module-solve"):
+        code = main([spec, "--quiet", "--trace", str(trace),
+                     "--no-fallback"])
+    capsys.readouterr()
+    assert code == 1
+    events = load_journal(str(trace))  # closed cleanly despite the error
+    run_end = next(
+        e for e in events
+        if e.get("ev") == "end" and e.get("name") == "run"
+    )
+    assert run_end["attrs"]["status"] == "error"
+
+
+def test_summarize_trace_tool_reads_cli_journal(spec, tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main([spec, "--quiet", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+
+    tool = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools", "summarize_trace.py",
+    )
+    spec_ = importlib.util.spec_from_file_location("summarize_trace", tool)
+    module = importlib.util.module_from_spec(spec_)
+    spec_.loader.exec_module(module)
+
+    assert module.main([str(trace), "--counters"]) == 0
+    out = capsys.readouterr().out
+    assert "span" in out
+    assert "sat_attempts" in out
+
+    # A malformed journal fails loudly with exit 1.
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"ev": "start", "id": 1, "name": "x",
+                               "t": 0.0}) + "\n")
+    assert module.main([str(bad)]) == 1

@@ -1,0 +1,73 @@
+"""Turn a JSONL span journal into a per-phase time/counter table.
+
+Usage::
+
+    python tools/summarize_trace.py TRACE.jsonl [--top N] [--counters]
+
+Validates the journal first (header, nesting, monotonic timestamps) and
+exits 1 with the problems listed when it is malformed, so CI can gate on
+journal well-formedness with the same command developers use to read
+one.  The aggregation is :func:`repro.obs.aggregate_events` -- the exact
+fold the live tracer maintains for ``--metrics``/``--profile-top``.
+
+Run with the repository's ``src`` on ``PYTHONPATH`` (or the package
+installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.obs import (  # noqa: E402  (path bootstrap above)
+    aggregate_events,
+    counter_totals,
+    format_counters,
+    format_profile,
+    read_events,
+    validate_events,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journal", help="JSONL trace written by --trace")
+    parser.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="only show the N heaviest span names",
+    )
+    parser.add_argument(
+        "--counters", action="store_true",
+        help="also print the counter totals across all spans",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = read_events(args.journal)
+    except OSError as exc:
+        print(f"error: cannot read {args.journal}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    if problems:
+        print(f"error: malformed journal {args.journal}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    stats = aggregate_events(events)
+    print(format_profile(stats, top=args.top))
+    if args.counters:
+        print()
+        print(format_counters(counter_totals(stats)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
