@@ -15,6 +15,7 @@ import sys
 
 from repro.bench import BENCHMARKS, load_benchmark
 from repro.csc import modular_synthesis
+from repro.runtime import SynthesisOptions
 from repro.logic import equations, synthesize_celements
 from repro.logic.extract import synthesize_logic
 from repro.logic.format import cover_to_expression
@@ -27,7 +28,8 @@ def main():
         raise SystemExit(f"unknown benchmark {name!r}")
 
     stg = load_benchmark(name)
-    result = modular_synthesis(build_state_graph(stg), minimize=False)
+    result = modular_synthesis(build_state_graph(stg),
+                               options=SynthesisOptions(minimize=False))
     graph = result.expanded
     names = list(graph.signals)
 

@@ -18,6 +18,7 @@ import sys
 
 from repro.bench import BENCHMARKS, load_benchmark
 from repro.csc import build_csc_formula, modular_synthesis
+from repro.runtime import SynthesisOptions
 from repro.stategraph import build_state_graph, csc_lower_bound
 
 
@@ -37,7 +38,9 @@ def main():
           f"{direct.num_vars} variables")
     print(f"  (paper's mmu0: 35,386 clauses, 1,044 variables)\n")
 
-    result = modular_synthesis(graph, minimize=False)
+    result = modular_synthesis(
+        graph, options=SynthesisOptions(minimize=False)
+    )
     sizes = result.formula_sizes()
     print(f"modular partitioning: {len(sizes)} formula(s) "
           f"across {len(result.modules)} output modules:")

@@ -13,6 +13,7 @@ import argparse
 from repro.baselines import lavagno_synthesis
 from repro.bench import BENCHMARKS, load_benchmark
 from repro.csc import BacktrackLimitError, direct_synthesis, modular_synthesis
+from repro.runtime import SynthesisOptions
 from repro.sat import Limits
 from repro.stategraph import build_state_graph
 
@@ -41,16 +42,16 @@ def main():
 
     limits = Limits(max_backtracks=200_000, max_seconds=args.budget)
     try:
-        direct = direct_synthesis(graph, limits=limits)
+        direct = direct_synthesis(graph, options=SynthesisOptions(limits=limits))
         rows.append(("direct (Vanbekbergen)", direct.final_signals,
                      direct.final_states, direct.literals, direct.seconds))
     except BacktrackLimitError as exc:
         rows.append(("direct (Vanbekbergen)", None, None, None,
                      exc.seconds))
 
-    lavagno = lavagno_synthesis(
-        graph, limits=Limits(max_backtracks=100_000, max_seconds=10.0)
-    )
+    lavagno = lavagno_synthesis(graph, options=SynthesisOptions(
+        limits=Limits(max_backtracks=100_000, max_seconds=10.0)
+    ))
     rows.append(("lavagno/moon baseline", lavagno.final_signals,
                  lavagno.final_states, lavagno.literals, lavagno.seconds))
 

@@ -30,9 +30,32 @@ from repro.csc import (
     modular_synthesis,
 )
 from repro.logic import Cover, Cube, espresso, literal_count
+from repro.runtime.options import SynthesisOptions
 from repro.verify import check_conformance, verify_synthesis
 
 __version__ = "1.0.0"
+
+
+def synthesize(stg, method="modular", options=None):
+    """Synthesise ``stg`` with one call: the recommended entry point.
+
+    A thin facade over :func:`repro.runtime.run.run_synthesis`: pick a
+    ``method`` (``"modular"``, ``"direct"`` or ``"lavagno"``), tune it
+    with a :class:`~repro.runtime.options.SynthesisOptions`, and get a
+    :class:`~repro.runtime.report.RunReport` back -- ``report.result``
+    holds the method's result object, ``report.status`` /
+    ``report.exit_code`` the verdict, and no
+    :class:`~repro.errors.ReproError` ever propagates.
+
+    >>> report = repro.synthesize(stg, options=SynthesisOptions(
+    ...     engine="hybrid", minimize=False))
+    >>> report.status
+    'ok'
+    """
+    from repro.runtime.run import run_synthesis
+
+    return run_synthesis(stg, method=method, options=options)
+
 
 __all__ = [
     "Cover",
@@ -44,6 +67,7 @@ __all__ = [
     "SignalTransitionGraph",
     "SignalType",
     "StateGraph",
+    "SynthesisOptions",
     "build_state_graph",
     "check_conformance",
     "csc_conflicts",
@@ -52,6 +76,7 @@ __all__ = [
     "literal_count",
     "modular_synthesis",
     "parse_g",
+    "synthesize",
     "verify_synthesis",
     "write_g",
     "__version__",

@@ -49,6 +49,7 @@ from repro import obs
 from repro.errors import ReproError
 from repro.logic import equations, write_synthesis_blif
 from repro.runtime.budget import Budget
+from repro.runtime.options import SynthesisOptions
 from repro.runtime.report import RUN_ERROR, RUN_TIMEOUT
 from repro.runtime.run import run_synthesis
 from repro.stg import parse_g_file, validate_stg
@@ -126,10 +127,11 @@ def main(argv=None):
 
 def _run(args, stg, tracer):
     budget = Budget(max_seconds=args.timeout, max_states=args.max_states)
-    report = run_synthesis(
-        stg, method=args.method, engine=args.engine, budget=budget,
-        fallback=not args.no_fallback,
+    options = SynthesisOptions(
+        engine=args.engine, budget=budget,
+        fallback=not args.no_fallback, degrade=not args.no_fallback,
     )
+    report = run_synthesis(stg, method=args.method, options=options)
 
     if report.status == RUN_ERROR:
         print(f"error: {report.error.describe()}", file=sys.stderr)

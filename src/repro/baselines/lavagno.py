@@ -95,8 +95,7 @@ class LavagnoResult:
         )
 
 
-def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
-                      signal_prefix="lm"):
+def lavagno_synthesis(stg, options=None, **legacy):
     """Synthesise by sequential whole-graph state-signal insertion.
 
     Parameters
@@ -104,15 +103,25 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
     stg:
         A :class:`~repro.stg.model.SignalTransitionGraph` or a prebuilt
         :class:`~repro.stategraph.graph.StateGraph`.
-    limits:
-        SAT budget per round.
-    minimize:
-        Also derive covers and literal counts.
+    options:
+        A :class:`~repro.runtime.options.SynthesisOptions`; this method
+        reads ``limits`` (SAT budget per round), ``minimize`` (also
+        derive covers and literal counts), ``engine`` and
+        ``signal_prefix`` (default ``"lm"``).
+    **legacy:
+        The pre-options keyword arguments, still accepted with a
+        :class:`DeprecationWarning`.
 
     Returns
     -------
     LavagnoResult
     """
+    from repro.runtime.options import coerce_options
+
+    opts = coerce_options(options, legacy, "lavagno_synthesis")
+    limits = opts.limits
+    engine = opts.engine
+    signal_prefix = opts.resolved_prefix("lm")
     watch = Stopwatch()
     if isinstance(stg, StateGraph):
         graph = stg
@@ -167,7 +176,7 @@ def lavagno_synthesis(stg, limits=None, minimize=True, engine="hybrid",
     _assert_realizable(graph, assignment)
 
     covers = literals = None
-    if minimize:
+    if opts.minimize:
         from repro.logic.extract import synthesize_logic
 
         with obs.span("minimize"):

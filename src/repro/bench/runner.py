@@ -16,7 +16,8 @@ from repro.bench.suite import BENCHMARKS, load_benchmark
 from repro.csc.direct import direct_synthesis
 from repro.csc.errors import BacktrackLimitError
 from repro.csc.synthesis import modular_synthesis
-from repro.obs import Counters, Stopwatch
+from repro.obs import Counters, Stopwatch, merge_stats
+from repro.runtime.options import SynthesisOptions
 from repro.sat.solver import Limits
 from repro.stategraph.build import build_state_graph
 
@@ -133,10 +134,10 @@ def run_modular(name, minimize=True, graph=None, engine="hybrid",
                 budget=None, fallback=False):
     """Run the paper's method on one benchmark."""
     stg, graph = _base_counts(name, graph)
-    result = modular_synthesis(
-        graph, minimize=minimize, engine=engine, budget=budget,
+    result = modular_synthesis(graph, options=SynthesisOptions(
+        minimize=minimize, engine=engine, budget=budget,
         fallback=fallback, degrade=fallback,
-    )
+    ))
     attempts = [
         attempt for module in result.modules for attempt in module.attempts
     ] + list(result.repair_attempts)
@@ -170,9 +171,9 @@ def run_direct(name, limits=None, minimize=True, graph=None,
     limits = DEFAULT_DIRECT_LIMITS if limits is None else limits
     watch = Stopwatch()
     try:
-        result = direct_synthesis(
-            graph, limits=limits, minimize=minimize, engine=engine
-        )
+        result = direct_synthesis(graph, options=SynthesisOptions(
+            limits=limits, minimize=minimize, engine=engine,
+        ))
     except BacktrackLimitError:
         return MethodRow(
             name, "direct",
@@ -205,7 +206,9 @@ def run_lavagno(name, minimize=True, graph=None):
     from repro.baselines.lavagno import lavagno_synthesis
 
     stg, graph = _base_counts(name, graph)
-    result = lavagno_synthesis(graph, minimize=minimize)
+    result = lavagno_synthesis(
+        graph, options=SynthesisOptions(minimize=minimize)
+    )
     return MethodRow(
         name, "lavagno",
         initial_states=graph.num_states,
@@ -217,6 +220,20 @@ def run_lavagno(name, minimize=True, graph=None):
     )
 
 
+def _method_rows(name, graph, methods, minimize, direct_limits):
+    """All requested methods on one benchmark (shared state graph)."""
+    runners = {
+        "modular": lambda: run_modular(name, minimize=minimize, graph=graph),
+        "direct": lambda: run_direct(
+            name, limits=direct_limits, minimize=minimize, graph=graph
+        ),
+        "lavagno": lambda: run_lavagno(
+            name, minimize=minimize, graph=graph
+        ),
+    }
+    return {method: runners[method]() for method in methods}
+
+
 def table_rows(names=None, methods=("modular", "direct", "lavagno"),
                minimize=True, direct_limits=None):
     """Run the selected methods over the suite.
@@ -224,34 +241,106 @@ def table_rows(names=None, methods=("modular", "direct", "lavagno"),
     Returns ``{name: {method: MethodRow}}`` in suite order.
     """
     names = list(BENCHMARKS) if names is None else list(names)
-    runners = {
-        "modular": lambda n, g: run_modular(n, minimize=minimize, graph=g),
-        "direct": lambda n, g: run_direct(
-            n, limits=direct_limits, minimize=minimize, graph=g
-        ),
-        "lavagno": lambda n, g: run_lavagno(n, minimize=minimize, graph=g),
-    }
     rows = {}
     for name in names:
         stg = load_benchmark(name)
         graph = build_state_graph(stg)
-        rows[name] = {
-            method: runners[method](name, graph) for method in methods
-        }
+        rows[name] = _method_rows(name, graph, methods, minimize,
+                                  direct_limits)
     return rows
 
 
-def write_bench_json(rows, tag, out_dir=".", tracer=None, extra=None):
+def _bench_task(task):
+    """Pool worker: one benchmark, every requested method, own tracer.
+
+    Runs in a separate process, so it installs a private tracer (with a
+    private JSONL journal when the caller asked for one) and returns a
+    picklable triple ``(name, {method: MethodRow}, stats_snapshot)``.
+    """
+    name, methods, minimize, direct_limits, journal = task
+    tracer = obs.install(obs.Tracer(journal=journal))
+    try:
+        with obs.span("bench", benchmark=name):
+            stg = load_benchmark(name)
+            graph = build_state_graph(stg)
+            per_method = _method_rows(name, graph, methods, minimize,
+                                      direct_limits)
+    finally:
+        obs.uninstall()
+        tracer.close()
+    return name, per_method, tracer.stats_dict()
+
+
+def table_rows_parallel(names=None,
+                        methods=("modular", "direct", "lavagno"),
+                        minimize=True, direct_limits=None, jobs=2,
+                        journal_prefix=None):
+    """Run the suite with a process pool, one task per benchmark.
+
+    Each worker traces itself; the per-process profiles are merged with
+    :func:`repro.obs.merge_stats` so counters and span totals come out
+    identical to a serial traced run (wall-clock sums are CPU time
+    across workers, not elapsed time).
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.
+    journal_prefix:
+        When set, each worker journals to
+        ``<journal_prefix>.<benchmark>.jsonl``; the caller concatenates
+        or inspects them (each file is a complete, self-contained
+        journal).
+
+    Returns
+    -------
+    (rows, stats, journals):
+        ``rows`` as :func:`table_rows`; ``stats`` the merged
+        ``{span_name: SpanStats}`` profile; ``journals`` the
+        per-benchmark journal paths written (empty without a prefix).
+    """
+    import multiprocessing
+
+    names = list(BENCHMARKS) if names is None else list(names)
+    tasks = []
+    journals = []
+    for name in names:
+        journal = None
+        if journal_prefix:
+            journal = f"{journal_prefix}.{name}.jsonl"
+            journals.append(journal)
+        tasks.append((name, tuple(methods), minimize, direct_limits,
+                      journal))
+    with multiprocessing.Pool(processes=jobs) as pool:
+        results = pool.map(_bench_task, tasks)
+    rows = {}
+    snapshots = []
+    for name, per_method, stats in results:
+        rows[name] = per_method
+        snapshots.append(stats)
+    return rows, merge_stats(snapshots), journals
+
+
+def write_bench_json(rows, tag, out_dir=".", tracer=None, extra=None,
+                     spans=None, trace_counters=None):
     """Write ``BENCH_<tag>.json`` for a completed :func:`table_rows` run.
 
     The document (schema ``repro-bench/1``) carries the flattened rows,
     the counter totals summed over them, and -- when a tracer is active
-    or passed explicitly -- its per-span-name profile, so one artifact
-    holds both the Table-1 numbers and where the wall clock went.
-    Returns the path written.
+    or passed explicitly -- its per-span-name profile plus the run-wide
+    ``trace_counters`` totals (``quotients``, ``proj_cache_hits``, ...),
+    so one artifact holds the Table-1 numbers, where the wall clock
+    went, and how hard the projection layer worked.  A parallel run has
+    no single tracer; it passes the merged profile as ``spans`` (a
+    ``stats_as_dict`` mapping) and its summed totals as
+    ``trace_counters``.  Returns the path written.
     """
     if tracer is None:
         tracer = obs.active()
+    if spans is None and tracer is not None:
+        spans = tracer.stats_dict()
+    if trace_counters is None and tracer is not None:
+        trace_counters = tracer.counter_totals().as_dict()
     totals = Counters()
     flat = []
     for per_method in rows.values():
@@ -263,8 +352,12 @@ def write_bench_json(rows, tag, out_dir=".", tracer=None, extra=None):
         "tag": tag,
         "rows": flat,
         "counters": totals.as_dict(),
-        "spans": tracer.stats_dict() if tracer is not None else None,
+        "spans": spans,
     }
+    if trace_counters is not None:
+        if isinstance(trace_counters, Counters):
+            trace_counters = trace_counters.as_dict()
+        document["trace_counters"] = dict(trace_counters)
     if extra:
         document.update(extra)
     path = os.path.join(out_dir, f"BENCH_{tag}.json")

@@ -4,23 +4,37 @@ Usage::
 
     python -m repro.bench.table1 [--methods modular,direct,lavagno]
                                  [--names mr0,nak-pa,...] [--no-minimize]
-                                 [--trace FILE.jsonl] [--bench-json TAG]
-                                 [--out-dir DIR]
+                                 [--jobs N] [--trace FILE.jsonl]
+                                 [--bench-json TAG] [--out-dir DIR]
 
 Prints, for every benchmark in the paper's row order, the measured
 results of each requested method next to the numbers the paper reports.
-``--trace`` journals the run's spans to a JSONL file; ``--bench-json``
-additionally writes ``BENCH_<TAG>.json`` (rows + span summaries, schema
-``repro-bench/1``) into ``--out-dir`` for CI to validate and archive.
+``--jobs N`` spreads the benchmarks over N worker processes (one task
+per benchmark); the per-worker traces are merged, so ``--bench-json``
+output is shape-identical to a serial run -- but the per-row ``cpu``
+and span totals are then CPU time inside the workers, not wall clock
+of the whole run.  ``--trace`` journals the run's spans to a JSONL
+file (under ``--jobs`` the per-worker journals are concatenated into
+it, each a self-contained segment with its own header); ``--bench-json``
+additionally writes ``BENCH_<TAG>.json`` (rows + span summaries +
+run-wide counter totals, schema ``repro-bench/1``) into ``--out-dir``
+for CI to validate and archive.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro import obs
-from repro.bench.runner import aggregate_area, table_rows, write_bench_json
+from repro.bench.runner import (
+    aggregate_area,
+    table_rows,
+    table_rows_parallel,
+    write_bench_json,
+)
 from repro.bench.suite import BENCHMARKS
+from repro.obs import counter_totals, stats_as_dict
 
 _PAPER_METHODS = {
     "modular": lambda info: info.ours,
@@ -72,6 +86,23 @@ def format_table(rows, methods):
     return "\n".join(lines)
 
 
+def _merge_journals(journals, target):
+    """Concatenate per-worker journals into ``target``, then drop them.
+
+    Each worker's journal is a complete JSONL trace (its own header
+    event, its own span-id space); the merged file is a sequence of
+    such self-contained segments, which is what the aggregation tools
+    fold by span *name* anyway.
+    """
+    with open(target, "w", encoding="utf-8") as out:
+        for journal in journals:
+            if not os.path.exists(journal):
+                continue
+            with open(journal, "r", encoding="utf-8") as part:
+                out.write(part.read())
+            os.remove(journal)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -85,6 +116,10 @@ def main(argv=None):
     parser.add_argument(
         "--no-minimize", action="store_true",
         help="skip two-level minimisation (omits the area columns)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (one benchmark per task; default 1)",
     )
     parser.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
@@ -111,21 +146,39 @@ def main(argv=None):
         if missing:
             parser.error(f"unknown benchmarks: {sorted(missing)}")
 
-    observe = bool(args.trace or args.bench_json)
-    tracer = obs.install(obs.Tracer(journal=args.trace)) if observe else None
-    try:
-        rows = table_rows(
-            names=names, methods=methods, minimize=not args.no_minimize
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    spans = trace_counters = None
+    if args.jobs > 1:
+        rows, stats, journals = table_rows_parallel(
+            names=names, methods=methods, minimize=not args.no_minimize,
+            jobs=args.jobs, journal_prefix=args.trace,
         )
-    finally:
-        if tracer is not None:
-            obs.uninstall()
-            tracer.close()
+        if args.trace:
+            _merge_journals(journals, args.trace)
+        spans = stats_as_dict(stats)
+        trace_counters = counter_totals(stats).as_dict()
+        tracer = None
+    else:
+        observe = bool(args.trace or args.bench_json)
+        tracer = (
+            obs.install(obs.Tracer(journal=args.trace)) if observe else None
+        )
+        try:
+            rows = table_rows(
+                names=names, methods=methods, minimize=not args.no_minimize
+            )
+        finally:
+            if tracer is not None:
+                obs.uninstall()
+                tracer.close()
     print(format_table(rows, methods))
 
     if args.bench_json:
         path = write_bench_json(
-            rows, args.bench_json, out_dir=args.out_dir, tracer=tracer
+            rows, args.bench_json, out_dir=args.out_dir, tracer=tracer,
+            spans=spans, trace_counters=trace_counters,
         )
         print(f"wrote {path}")
 

@@ -129,9 +129,7 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
     )
 
 
-def direct_synthesis(stg, limits=None, minimize=True,
-                     max_signals=DEFAULT_MAX_SIGNALS, engine="hybrid",
-                     polish=True, budget=None, fallback=False):
+def direct_synthesis(stg, options=None, **legacy):
     """Run the full direct flow: state graph, monolithic SAT, expansion.
 
     Parameters
@@ -139,28 +137,38 @@ def direct_synthesis(stg, limits=None, minimize=True,
     stg:
         A :class:`~repro.stg.model.SignalTransitionGraph`, or an already
         built :class:`~repro.stategraph.graph.StateGraph`.
-    limits:
-        SAT budget (:class:`repro.sat.solver.Limits`); exceeding it raises
+    options:
+        A :class:`~repro.runtime.options.SynthesisOptions`; this method
+        reads ``limits`` (SAT budget -- exceeding it raises
         :class:`~repro.csc.errors.BacktrackLimitError`, mirroring the
-        paper's aborted runs.
-    minimize:
-        Also derive minimised two-level covers and count literals.
+        paper's aborted runs), ``minimize``, ``max_signals``,
+        ``signal_prefix``, ``engine``, ``polish``, ``budget`` and
+        ``fallback``.
+    **legacy:
+        The pre-options keyword arguments, still accepted with a
+        :class:`DeprecationWarning`.
 
     Returns
     -------
     DirectResult
     """
+    from repro.runtime.options import coerce_options
+
+    opts = coerce_options(options, legacy, "direct_synthesis")
     watch = Stopwatch()
+    budget = opts.budget
     if isinstance(stg, StateGraph):
         graph = stg
     else:
         graph = build_state_graph(stg, budget=budget)
 
     assignment, outcome, expanded = solve_csc_direct(
-        graph, limits=limits, max_signals=max_signals, engine=engine,
-        budget=budget, fallback=fallback,
+        graph, limits=opts.limits,
+        max_signals=opts.resolved_max_signals(DEFAULT_MAX_SIGNALS),
+        signal_prefix=opts.resolved_prefix("csc"), engine=opts.engine,
+        budget=budget, fallback=opts.fallback,
     )
-    if polish:
+    if opts.polish:
         from repro.csc.polish import polish_assignment
 
         with obs.span("polish"):
@@ -172,7 +180,7 @@ def direct_synthesis(stg, limits=None, minimize=True,
     _assert_realizable(graph, assignment)
 
     covers = literals = None
-    if minimize:
+    if opts.minimize:
         from repro.logic.extract import synthesize_logic
 
         with obs.span("minimize"):

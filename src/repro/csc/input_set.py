@@ -10,7 +10,7 @@ are ε-labelled and the states they connect merged away.
 
 from __future__ import annotations
 
-from repro.stategraph.csc import csc_conflicts, csc_lower_bound
+from repro.stategraph.csc import csc_conflicts_and_bound
 from repro.stategraph.graph import EPSILON
 from repro.stategraph.quotient import quotient
 
@@ -63,23 +63,26 @@ def sg_triggers(graph, output):
 
     This is the state-graph reading of the paper's "direct causal
     relationship" (Section 3.2): ``s`` triggers ``o`` when some edge
-    ``M --s*--> M'`` turns on ``o``'s excitation.
+    ``M --s*--> M'`` turns on ``o``'s excitation.  Only the in-edges of
+    states exciting ``output`` are examined -- the rest of the edge list
+    cannot contain a trigger.
     """
     triggers = set()
-    for source, label, target in graph.edges:
-        if label is EPSILON:
+    for state in graph.states():
+        if output not in graph.excitation(state):
             continue
-        signal, _direction = label
-        if signal == output:
-            continue
-        before = graph.excitation(source).get(output)
-        after = graph.excitation(target).get(output)
-        if after is not None and before is None:
-            triggers.add(signal)
+        for label, source in graph.in_edges(state):
+            if label is EPSILON:
+                continue
+            signal, _direction = label
+            if signal == output:
+                continue
+            if output not in graph.excitation(source):
+                triggers.add(signal)
     return triggers
 
 
-def determine_input_set(graph, output, existing):
+def determine_input_set(graph, output, existing, cache=None):
     """Derive ``I_S(output)`` by greedy signal removal (Figure 2).
 
     Parameters
@@ -91,6 +94,12 @@ def determine_input_set(graph, output, existing):
     existing:
         The :class:`~repro.csc.assignment.Assignment` of state signals
         inserted by earlier iterations (possibly empty).
+    cache:
+        Optional :class:`~repro.perf.ProjectionCache` over ``graph``.
+        The greedy loop only ever projects supersets of its current
+        hidden set, so with a cache every trial is served as a hit or a
+        single incremental refinement of the projection in hand instead
+        of a from-scratch merge of Σ.
 
     Returns
     -------
@@ -107,17 +116,19 @@ def determine_input_set(graph, output, existing):
 
     def metrics(hidden_trial, state_signal_trial):
         """(conflicts, lower bound) of the trial projection, or None."""
-        q = quotient(graph, hidden_trial)
+        if cache is not None:
+            q = cache.project(hidden_trial)
+        else:
+            q = quotient(graph, hidden_trial)
         restricted = existing.restricted(state_signal_trial)
         merged = restricted.merged_over(q.blocks)
         if merged is None:
             return None  # Figure 3(j,k): inconsistent state-signal merge
         extra = merged.cur_bits()
-        conflicts = len(
-            csc_conflicts(q, outputs=[output], extra_codes=extra)
+        conflicts, bound = csc_conflicts_and_bound(
+            q, outputs=[output], extra_codes=extra
         )
-        bound = csc_lower_bound(q, outputs=[output], extra_codes=extra)
-        return conflicts, bound
+        return len(conflicts), bound
 
     conflicts, bound = metrics(hidden, kept_state_signals)
 

@@ -63,7 +63,7 @@ _FALLBACK_SIGNAL_CAP = 4
 def partition_sat(graph, output, input_set, existing, limits=None,
                   max_signals=DEFAULT_MAX_SIGNALS, name_start=0,
                   signal_prefix="csc", engine="hybrid", budget=None,
-                  fallback=False):
+                  fallback=False, cache=None):
     """Solve the CSC constraints of one output on its modular graph.
 
     The greedy input-set derivation only guarantees the conflict count
@@ -93,6 +93,11 @@ def partition_sat(graph, output, input_set, existing, limits=None,
     budget / fallback:
         Optional run-wide :class:`~repro.runtime.budget.Budget` and the
         engine-fallback ladder switch, forwarded to the solve loop.
+    cache:
+        Optional :class:`~repro.perf.ProjectionCache` over ``graph``.
+        The input-set derivation already projected every prefix of
+        ``removal_order``, so with the run's shared cache both the
+        initial projection and every un-hiding fallback step are hits.
 
     Returns
     -------
@@ -108,7 +113,10 @@ def partition_sat(graph, output, input_set, existing, limits=None,
         if budget is not None:
             budget.checkpoint(f"module:{output}")
         with obs.span("project", output=output) as project_span:
-            q = quotient(graph, hidden)
+            if cache is not None:
+                q = cache.project(hidden)
+            else:
+                q = quotient(graph, hidden)
             project_span.add("macro_states", q.graph.num_states)
         restricted = existing.restricted(input_set.kept_state_signals)
         merged = restricted.merged_over(q.blocks)

@@ -26,6 +26,12 @@ formula asserts three constraint families:
 
 Satisfying assignments decode into four-valued
 :class:`~repro.csc.assignment.Assignment` columns.
+
+The encoder reads its input graph exclusively through the
+:class:`~repro.stategraph.view.StateGraphView` protocol (``states``,
+``edges``, ``code_of``, ``excitation``, ``implied_values``, ``signals``,
+``non_inputs``), which is why it works unchanged on the complete state
+graph Σ and on the macro graphs the modular method projects from it.
 """
 
 from __future__ import annotations

@@ -21,7 +21,9 @@ from repro.csc.modular import partition_sat
 from repro.csc.propagate import propagate
 from repro.csc.solve import DEFAULT_MAX_SIGNALS, solve_state_signals
 from repro.obs import Stopwatch
+from repro.perf import ProjectionCache
 from repro.runtime.budget import BudgetExhaustedError
+from repro.runtime.options import coerce_options
 from repro.runtime.report import (
     MODULE_DEGRADED,
     MODULE_OK,
@@ -33,7 +35,6 @@ from repro.stategraph.build import build_state_graph
 from repro.stategraph.csc import csc_conflicts
 from repro.stategraph.graph import StateGraph
 from repro.sat.solver import Limits
-from repro.stategraph.quotient import quotient
 
 _MAX_REPAIR_ROUNDS = 10
 
@@ -144,10 +145,7 @@ class ModularResult:
         )
 
 
-def modular_synthesis(stg, limits=None, minimize=True,
-                      max_signals=DEFAULT_MAX_SIGNALS, output_order=None,
-                      signal_prefix="csc", engine="hybrid", polish=True,
-                      budget=None, fallback=False, degrade=False):
+def modular_synthesis(stg, options=None, **legacy):
     """Synthesise an STG with the paper's modular partitioning method.
 
     Parameters
@@ -155,47 +153,64 @@ def modular_synthesis(stg, limits=None, minimize=True,
     stg:
         A :class:`~repro.stg.model.SignalTransitionGraph`, or an already
         built :class:`~repro.stategraph.graph.StateGraph`.
-    limits:
-        SAT budget (:class:`repro.sat.solver.Limits`) applied to every
-        modular formula.
-    minimize:
-        Also derive minimised two-level covers and literal counts.
-    output_order:
-        Optional explicit processing order for the non-input signals;
-        defaults to sorted order.
-    budget:
-        Optional run-wide :class:`~repro.runtime.budget.Budget` bounding
-        the whole call (graph construction, every solve, the repair
-        rounds).  On exhaustion the raised
-        :class:`~repro.runtime.budget.BudgetExhaustedError` carries the
-        partial per-module :class:`~repro.runtime.report.RunReport` as
-        ``exc.report``.
-    fallback:
-        Enable the engine-fallback ladder on every SAT solve.
-    degrade:
-        When true, a failed per-output modular pass does not abort the
-        run: the output falls back to a direct sub-solve on the full
-        graph (``degraded``), or is left entirely to the trailing
-        verify-and-repair rounds (``skipped``).  The outcome of every
-        module is recorded in ``result.report``; degraded/skipped
-        outputs have no :class:`ModuleReport` in ``result.modules``.
+    options:
+        A :class:`~repro.runtime.options.SynthesisOptions`.  The fields
+        this method reads:
+
+        * ``limits`` -- SAT budget per modular formula (default
+          :data:`DEFAULT_MODULAR_LIMITS`);
+        * ``minimize`` -- also derive minimised two-level covers;
+        * ``max_signals`` / ``signal_prefix`` -- state-signal cap and
+          naming;
+        * ``output_order`` -- explicit processing order for the
+          non-input signals; the default derives the
+          smallest-module-first order (and reuses its pre-scan);
+        * ``polish`` -- run the assignment polish pass;
+        * ``budget`` -- run-wide :class:`~repro.runtime.budget.Budget`
+          bounding the whole call.  On exhaustion the raised
+          :class:`~repro.runtime.budget.BudgetExhaustedError` carries
+          the partial per-module report as ``exc.report``;
+        * ``fallback`` -- the engine-fallback ladder on every solve;
+        * ``degrade`` -- a failed per-output modular pass does not
+          abort the run: the output falls back to a direct sub-solve on
+          the full graph (``degraded``), or is left entirely to the
+          trailing verify-and-repair rounds (``skipped``).  The outcome
+          of every module is recorded in ``result.report``;
+          degraded/skipped outputs have no :class:`ModuleReport` in
+          ``result.modules``.
+    **legacy:
+        The pre-options keyword arguments (``limits=``, ``minimize=``,
+        ...), still accepted with a :class:`DeprecationWarning`.
+
+    All projections of one run -- the ordering pre-scan, every greedy
+    input-set trial, the partition fallback ladder -- go through one
+    shared :class:`~repro.perf.ProjectionCache`, so the complete state
+    graph is merged from scratch at most a handful of times per run.
 
     Returns
     -------
     ModularResult
     """
+    opts = coerce_options(options, legacy, "modular_synthesis")
     watch = Stopwatch()
-    if limits is None:
-        limits = DEFAULT_MODULAR_LIMITS
+    limits = opts.resolved_limits(DEFAULT_MODULAR_LIMITS)
+    max_signals = opts.resolved_max_signals(DEFAULT_MAX_SIGNALS)
+    signal_prefix = opts.resolved_prefix("csc")
+    engine = opts.engine
+    budget = opts.budget
+    fallback = opts.fallback
+    degrade = opts.degrade
     if isinstance(stg, StateGraph):
         graph = stg
     else:
         graph = build_state_graph(stg, budget=budget)
 
-    if output_order:
-        outputs = list(output_order)
+    cache = ProjectionCache(graph)
+    prescan = {}
+    if opts.output_order:
+        outputs = list(opts.output_order)
     else:
-        outputs = _default_output_order(graph)
+        outputs, prescan = _default_output_order(graph, cache)
     unknown = set(outputs) - graph.non_inputs
     if unknown:
         raise ValueError(f"not non-input signals: {sorted(unknown)}")
@@ -212,6 +227,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
                 limits=limits, max_signals=max_signals,
                 signal_prefix=signal_prefix, engine=engine,
                 budget=budget, fallback=fallback, degrade=degrade,
+                cache=cache, prescan=prescan,
             )
 
         with obs.span("repair"):
@@ -219,7 +235,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
                 graph, assignment, limits, max_signals, signal_prefix,
                 engine, budget=budget, fallback=fallback,
             )
-        if polish:
+        if opts.polish:
             from repro.csc.polish import polish_assignment
 
             if budget is not None:
@@ -230,7 +246,7 @@ def modular_synthesis(stg, limits=None, minimize=True,
         _assert_realizable(graph, assignment)
 
         covers = literals = None
-        if minimize:
+        if opts.minimize:
             from repro.logic.extract import synthesize_logic
 
             if budget is not None:
@@ -258,21 +274,35 @@ def modular_synthesis(stg, limits=None, minimize=True,
 
 def _solve_module(graph, output, assignment, modules, report, *,
                   limits, max_signals, signal_prefix, engine, budget,
-                  fallback, degrade):
+                  fallback, degrade, cache=None, prescan=None):
     """One output's modular pass, degrading per policy on failure.
 
     Returns the extended assignment and appends to ``modules`` /
-    ``report`` as a side effect.
+    ``report`` as a side effect.  A ``prescan`` entry (an
+    :class:`~repro.csc.input_set.InputSetResult` derived against the
+    empty assignment by ``_default_output_order``) is reused verbatim as
+    long as no state signal has been inserted yet -- the derivation is a
+    pure function of (graph, output, assignment), and the pre-scan
+    already ran it.
     """
     with obs.span("module", output=output) as module_span:
-        with obs.span("input_set", output=output):
-            input_set = determine_input_set(graph, output, assignment)
+        with obs.span("input_set", output=output) as input_span:
+            input_set = None
+            if prescan and assignment.num_signals == 0:
+                input_set = prescan.get(output)
+            if input_set is not None:
+                obs.add("prescan_reuses")
+                input_span.set("reused", True)
+            else:
+                input_set = determine_input_set(
+                    graph, output, assignment, cache=cache
+                )
         try:
             partition = partition_sat(
                 graph, output, input_set, assignment, limits=limits,
                 max_signals=max_signals, name_start=assignment.num_signals,
                 signal_prefix=signal_prefix, engine=engine, budget=budget,
-                fallback=fallback,
+                fallback=fallback, cache=cache,
             )
         except CscError as exc:
             if not degrade:
@@ -354,7 +384,7 @@ def _assert_realizable(graph, assignment):
         )
 
 
-def _default_output_order(graph):
+def _default_output_order(graph, cache=None):
     """Process outputs with the smallest modular graphs first.
 
     Local conflicts (completion pulses, echo tails) then insert their
@@ -363,14 +393,27 @@ def _default_output_order(graph):
     conflicts for free.  The paper leaves the iteration order open; this
     is the ordering that makes its "state signals are shared between
     modules" behaviour reliable.
+
+    Returns ``(order, prescan)``: the pre-scan's per-output
+    :class:`~repro.csc.input_set.InputSetResult` objects (derived
+    against the empty assignment) ride along so the solve loop never
+    repeats the derivation, and the shared ``cache`` keeps every
+    projection computed here warm for ``partition_sat``.
     """
+    if cache is None:
+        cache = ProjectionCache(graph)
     empty = Assignment.empty(graph.num_states)
     keys = {}
-    for output in sorted(graph.non_inputs):
-        input_set = determine_input_set(graph, output, empty)
-        macro = quotient(graph, input_set.hidden_signals).graph.num_states
-        keys[output] = (macro, input_set.conflicts, output)
-    return sorted(keys, key=keys.get)
+    prescan = {}
+    with obs.span("output_order"):
+        for output in sorted(graph.non_inputs):
+            input_set = determine_input_set(graph, output, empty, cache=cache)
+            prescan[output] = input_set
+            macro = cache.project(
+                input_set.hidden_signals
+            ).graph.num_states
+            keys[output] = (macro, input_set.conflicts, output)
+    return sorted(keys, key=keys.get), prescan
 
 
 def _repair(graph, assignment, limits, max_signals, signal_prefix, engine,

@@ -39,6 +39,7 @@ from repro.obs.profile import (
     counter_totals,
     format_counters,
     format_profile,
+    merge_stats,
     stats_as_dict,
     top_spans,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "format_profile",
     "install",
     "load_journal",
+    "merge_stats",
     "read_events",
     "span",
     "span_tree",

@@ -6,15 +6,22 @@ stream: a ``trace`` header, then ``start``/``end`` records per span and
 used by ``tools/summarize_trace.py``, the CI schema check, and the tests
 that assert a journal is well-formed even when the traced run failed.
 
+A journal may also be a **concatenation** of several complete journals:
+the parallel bench runner (``table1 --jobs N``) merges one self-contained
+journal per worker into a single file.  Every ``trace`` header starts a
+new *segment*, and the rules below hold per segment.
+
 Well-formedness rules (checked by :func:`validate_events`):
 
 * every line parses as a JSON object with a known ``ev`` type;
-* the first event is the ``trace`` header, exactly once;
-* span ids are unique, and every ``end`` closes the innermost open
-  ``start`` with the same id and name (strict LIFO nesting);
+* each segment starts with a ``trace`` header, exactly one per segment
+  (so the stream's first event is always a header);
+* within a segment span ids are unique, and every ``end`` closes the
+  innermost open ``start`` with the same id and name (strict LIFO
+  nesting);
 * every ``parent`` reference names a span that is open at that moment;
-* timestamps never run backwards;
-* no span is left open at the end of the stream.
+* timestamps never run backwards within a segment;
+* no span is left open at the end of a segment.
 """
 
 from __future__ import annotations
@@ -67,31 +74,59 @@ def read_events(source):
     return events
 
 
+def split_segments(events):
+    """Split a (possibly concatenated) journal into per-header segments.
+
+    Returns ``[(first_position, [events...]), ...]`` where positions are
+    1-based indices into the full stream.  Every ``trace`` header opens
+    a new segment; events before the first header form a (malformed)
+    headerless segment that :func:`validate_events` reports.
+    """
+    segments = []
+    current = None
+    for position, event in enumerate(events, start=1):
+        if event.get("ev") == "trace" or current is None:
+            current = []
+            segments.append((position, current))
+        current.append(event)
+    return segments
+
+
 def validate_events(events):
     """Check the journal rules; returns a list of problem strings."""
+    if not events:
+        return ["journal is empty"]
+    problems = []
+    for first_position, segment in split_segments(events):
+        problems.extend(_validate_segment(segment, first_position))
+    return problems
+
+
+def _validate_segment(events, first_position):
+    """Journal rules over one self-contained segment."""
     problems = []
     open_spans = []  # (id, name) innermost last
     open_ids = set()
     seen_ids = set()
     last_t = None
-    for position, event in enumerate(events, start=1):
+    for position, event in enumerate(events, start=first_position):
         kind = event.get("ev")
         if kind not in EVENT_TYPES:
             problems.append(f"event {position}: unknown type {kind!r}")
             continue
-        if position == 1:
+        if position == first_position:
             if kind != "trace":
-                problems.append("event 1: journal must start with a "
-                                "'trace' header")
+                problems.append(
+                    f"event {position}: journal segment must start with "
+                    f"a 'trace' header"
+                )
             elif event.get("version") != JOURNAL_VERSION:
                 problems.append(
-                    f"event 1: unsupported journal version "
+                    f"event {position}: unsupported journal version "
                     f"{event.get('version')!r}"
                 )
-            continue
-        if kind == "trace":
-            problems.append(f"event {position}: duplicate 'trace' header")
-            continue
+            if kind == "trace":
+                continue
         t = event.get("t")
         if not isinstance(t, (int, float)):
             problems.append(f"event {position}: missing timestamp 't'")
@@ -152,8 +187,6 @@ def validate_events(events):
             open_ids.discard(span_id)
     for span_id, name in open_spans:
         problems.append(f"span {span_id} ({name!r}) never ended")
-    if not events:
-        problems.append("journal is empty")
     return problems
 
 
@@ -170,21 +203,24 @@ def span_tree(events):
     """Nest end records as ``(record, [children...])`` trees.
 
     Returns the list of root spans in end order.  Useful for tests that
-    assert the recorded hierarchy (run -> module -> sat_attempt).
+    assert the recorded hierarchy (run -> module -> sat_attempt).  A
+    concatenated journal is handled per segment (span ids are only
+    unique within one), roots accumulating across segments in order.
     """
-    parents = {}
-    for event in events:
-        if event.get("ev") == "start":
-            parents[event["id"]] = event.get("parent")
-    nodes = {}
     roots = []
-    ends = [e for e in events if e.get("ev") == "end"]
-    for event in ends:
-        nodes[event["id"]] = (event, [])
-    for event in ends:
-        parent = parents.get(event["id"])
-        if parent is not None and parent in nodes:
-            nodes[parent][1].append(nodes[event["id"]])
-        else:
-            roots.append(nodes[event["id"]])
+    for _position, segment in split_segments(events):
+        parents = {}
+        for event in segment:
+            if event.get("ev") == "start":
+                parents[event["id"]] = event.get("parent")
+        nodes = {}
+        ends = [e for e in segment if e.get("ev") == "end"]
+        for event in ends:
+            nodes[event["id"]] = (event, [])
+        for event in ends:
+            parent = parents.get(event["id"])
+            if parent is not None and parent in nodes:
+                nodes[parent][1].append(nodes[event["id"]])
+            else:
+                roots.append(nodes[event["id"]])
     return roots

@@ -1,0 +1,24 @@
+"""``repro.perf`` -- the incremental projection engine.
+
+The paper's speedup story rests on cheap per-output projections, but a
+naive Figure-2 loop recomputes a from-scratch quotient of the complete
+state graph Σ for every candidate signal of every output.  This package
+makes those projections incremental and shared:
+
+* :class:`~repro.perf.projection.ProjectionCache` memoizes
+  ``quotient(Σ, hidden)`` by ``frozenset(hidden)``, bounded by an LRU
+  policy, with hit/miss/eviction counters wired into :mod:`repro.obs`;
+* on a miss, the cache *refines* the best already-cached subset
+  projection through :func:`repro.stategraph.quotient.refine` -- a
+  quotient of the current (much smaller) modular graph composed through
+  the cover maps -- instead of re-merging all of Σ.
+
+One cache instance is created per :func:`~repro.csc.synthesis.
+modular_synthesis` run and shared by the output-ordering pre-scan, every
+per-output module pass, and the partition fallback ladder, so no
+projection is ever derived twice.  See ``docs/performance.md``.
+"""
+
+from repro.perf.projection import DEFAULT_CACHE_SIZE, ProjectionCache
+
+__all__ = ["DEFAULT_CACHE_SIZE", "ProjectionCache"]

@@ -1,0 +1,149 @@
+"""Memoized, incrementally refined state-graph projections.
+
+A :class:`ProjectionCache` wraps one base graph Σ and serves
+:class:`~repro.stategraph.quotient.QuotientGraph` objects for hidden
+signal sets.  Three tiers, cheapest first:
+
+1. **hit** -- the exact hidden set is cached; return it.
+2. **refine** -- some cached projection hides a *subset* of the
+   requested signals; hide the difference on its (small) merged graph
+   and compose cover maps (:func:`repro.stategraph.quotient.refine`).
+3. **miss** -- no usable ancestor; merge Σ from scratch
+   (:func:`repro.stategraph.quotient.quotient`).
+
+The greedy input-set loop only ever asks for supersets ``hidden ∪ {s}``
+of its current hidden set, so in steady state every request lands in
+tier 1 or 2 and Σ is merged exactly once per cache lifetime (the
+ε-only projection).
+
+Entries are LRU-bounded.  Results are immutable -- quotients of an
+immutable graph -- so there is no invalidation: a cache is permanently
+valid for the one base graph it was built for, and must simply be
+dropped with that graph.  ``hits`` / ``misses`` / ``refines`` /
+``evictions`` are kept as plain attributes and mirrored into
+:mod:`repro.obs` as ``proj_cache_hits`` / ``proj_cache_misses`` /
+``proj_cache_evictions`` (plus ``quotients`` / ``quotient_refines``
+recorded by the construction functions themselves).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro import obs
+from repro.stategraph.quotient import quotient, refine
+
+#: Default LRU bound.  The working set of one modular run is the greedy
+#: chain of one output (|signals| entries) plus the shared ε-only root;
+#: 256 comfortably holds several outputs' chains so the ordering
+#: pre-scan's projections are still warm when the solve loop replays
+#: them.
+DEFAULT_CACHE_SIZE = 256
+
+
+class ProjectionCache:
+    """LRU-bounded quotient memo for one base graph.
+
+    Parameters
+    ----------
+    base:
+        The :class:`~repro.stategraph.graph.StateGraph` all projections
+        are taken of (typically the complete graph Σ).
+    max_entries:
+        LRU bound; least recently used projections are evicted first.
+        ``None`` disables the bound.
+    """
+
+    def __init__(self, base, max_entries=DEFAULT_CACHE_SIZE):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
+        self.base = base
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.refines = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, hidden):
+        return frozenset(hidden) in self._entries
+
+    def project(self, hidden):
+        """The quotient of the base graph with ``hidden`` merged away.
+
+        Returns the cached :class:`~repro.stategraph.quotient.
+        QuotientGraph` when the exact hidden set is known, refines the
+        largest cached subset when one exists, and falls back to a
+        from-scratch merge otherwise.  The result is cached either way.
+        """
+        key = frozenset(hidden)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs.add("proj_cache_hits")
+            return entry
+
+        self.misses += 1
+        obs.add("proj_cache_misses")
+        ancestor = self._best_ancestor(key)
+        if ancestor is not None:
+            self.refines += 1
+            entry = refine(self._entries[ancestor], key - ancestor)
+            self._entries.move_to_end(ancestor)
+        else:
+            entry = quotient(self.base, key)
+        self._store(key, entry)
+        return entry
+
+    def seed(self, projection):
+        """Adopt an externally computed projection of the same base."""
+        if projection.base is not self.base:
+            raise ValueError("projection belongs to a different base graph")
+        self._store(projection.hidden, projection)
+
+    def stats(self):
+        """Snapshot ``{hits, misses, refines, evictions, entries}``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "refines": self.refines,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _best_ancestor(self, key):
+        """The largest cached proper subset of ``key``, or ``None``.
+
+        A linear scan over the (LRU-bounded) entries: the refinement
+        cost is driven by the ancestor's merged-graph size, and the
+        largest hidden set has the smallest merged graph.  Ties go to
+        the most recently used entry.
+        """
+        best = None
+        for cached in reversed(self._entries):
+            if len(cached) < len(key) and cached < key:
+                if best is None or len(cached) > len(best):
+                    best = cached
+        return best
+
+    def _store(self, key, entry):
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                obs.add("proj_cache_evictions")
+
+    def __repr__(self):
+        return (
+            f"ProjectionCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"refines={self.refines}, evictions={self.evictions})"
+        )

@@ -23,6 +23,7 @@ them back.  :func:`run_synthesis` is therefore loaded lazily (PEP 562).
 
 from repro.errors import ReproError
 from repro.runtime.budget import Budget, BudgetExhaustedError
+from repro.runtime.options import OPTION_FIELDS, SynthesisOptions, coerce_options
 from repro.runtime.report import (
     EXIT_CODES,
     MODULE_DEGRADED,
@@ -41,6 +42,9 @@ __all__ = [
     "Budget",
     "BudgetExhaustedError",
     "EXIT_CODES",
+    "OPTION_FIELDS",
+    "SynthesisOptions",
+    "coerce_options",
     "MODULE_DEGRADED",
     "MODULE_OK",
     "MODULE_SKIPPED",
@@ -54,6 +58,10 @@ __all__ = [
     "faults",
     "run_synthesis",
 ]
+
+# repro.runtime.options is a leaf like budget/report: the synthesis
+# layers import SynthesisOptions at load time, so it must not import
+# them back (and does not).
 
 
 def __getattr__(name):

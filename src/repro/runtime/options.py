@@ -1,0 +1,159 @@
+"""One options object for every synthesis entry point.
+
+The synthesis methods accumulated a sprawl of keyword arguments
+(``limits``, ``minimize``, ``max_signals``, ``output_order``,
+``signal_prefix``, ``engine``, ``polish``, ``budget``, ``fallback``,
+``degrade``) that had to be threaded, parameter by parameter, through
+:func:`~repro.runtime.run.run_synthesis`, the CLI, and the benchmark
+runner.  :class:`SynthesisOptions` replaces that sprawl: one frozen
+dataclass accepted by :func:`~repro.csc.synthesis.modular_synthesis`,
+:func:`~repro.csc.direct.direct_synthesis`,
+:func:`~repro.baselines.lavagno.lavagno_synthesis`,
+:func:`~repro.runtime.run.run_synthesis`, and the top-level
+:func:`repro.synthesize` facade.
+
+The old keywords keep working through :func:`coerce_options`, which
+every entry point routes its ``**legacy`` through: passing them emits a
+:class:`DeprecationWarning` naming the replacement, and mixing them
+with an explicit ``options=`` is an error (the call would be ambiguous).
+
+Fields whose natural default differs per method (``signal_prefix`` is
+``"csc"`` for the SAT methods but ``"lm"`` for the Lavagno baseline;
+``limits`` and ``max_signals`` default to per-method budgets) default to
+``None``, meaning "the method's default".  This module is a dependency
+leaf like the rest of :mod:`repro.runtime`'s core: it imports nothing
+from the synthesis layers, so they can all import it at load time.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Every knob of a synthesis run, in one immutable value.
+
+    Parameters
+    ----------
+    limits:
+        Per-formula SAT budget (:class:`repro.sat.solver.Limits`);
+        ``None`` means the method's default budget.
+    minimize:
+        Also derive minimised two-level covers and literal counts.
+    max_signals:
+        Cap on state signals tried per formula; ``None`` means the
+        method's default.
+    output_order:
+        Explicit processing order for the non-input signals (modular
+        method only); ``None`` derives the smallest-module-first order.
+    signal_prefix:
+        Prefix for inserted state signal names; ``None`` means the
+        method's default (``"csc"``, or ``"lm"`` for the baseline).
+    engine:
+        SAT engine: ``"hybrid"``, ``"dpll"``, ``"cdcl"`` or ``"bdd"``.
+    polish:
+        Run the assignment polish pass after synthesis.
+    budget:
+        Run-wide :class:`~repro.runtime.budget.Budget`; ``None`` is
+        unlimited.
+    fallback:
+        Enable the engine-fallback ladder on every solve.
+    degrade:
+        Modular method only: degrade failed per-output passes to direct
+        sub-solves instead of aborting the run.
+    jobs:
+        Parallel worker processes for batch drivers (the Table-1 bench
+        runner); the synthesis methods themselves are single-process
+        and ignore it.
+    """
+
+    limits: object = None
+    minimize: bool = True
+    max_signals: object = None
+    output_order: object = None
+    signal_prefix: object = None
+    engine: str = "hybrid"
+    polish: bool = True
+    budget: object = None
+    fallback: bool = False
+    degrade: bool = False
+    jobs: int = 1
+
+    def __post_init__(self):
+        if self.output_order is not None:
+            object.__setattr__(
+                self, "output_order", tuple(self.output_order)
+            )
+
+    def evolve(self, **changes):
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def resolved_prefix(self, default="csc"):
+        """``signal_prefix`` with the method's default filled in."""
+        return self.signal_prefix if self.signal_prefix is not None \
+            else default
+
+    def resolved_max_signals(self, default):
+        """``max_signals`` with the method's default filled in."""
+        return self.max_signals if self.max_signals is not None else default
+
+    def resolved_limits(self, default=None):
+        """``limits`` with the method's default filled in."""
+        return self.limits if self.limits is not None else default
+
+
+#: Field names legacy keyword arguments may use.
+OPTION_FIELDS = frozenset(f.name for f in fields(SynthesisOptions))
+
+
+def coerce_options(options, legacy, caller, legacy_defaults=None):
+    """Resolve an ``options=`` value and legacy ``**kwargs`` into one.
+
+    * ``options`` given, no legacy keywords: returned as-is.
+    * legacy keywords only: folded into a fresh
+      :class:`SynthesisOptions`, with a :class:`DeprecationWarning`
+      naming the caller and the replacement.
+    * both: :class:`TypeError` -- the call would be ambiguous.
+    * neither: the defaults.
+
+    ``legacy_defaults`` lets a caller whose historical keyword defaults
+    differ from the dataclass defaults (``run_synthesis`` defaulted
+    ``fallback=True``) preserve them on the legacy and no-argument
+    paths; an explicit ``options=`` is always taken verbatim.
+
+    ``stacklevel=3`` points the warning at the caller of the synthesis
+    function, not at the function or this helper.
+    """
+    if legacy:
+        unknown = sorted(set(legacy) - OPTION_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"{caller}() got unexpected keyword argument(s): "
+                f"{', '.join(unknown)}"
+            )
+        if options is not None:
+            raise TypeError(
+                f"{caller}() takes either options= or legacy synthesis "
+                f"keywords, not both"
+            )
+        named = ", ".join(sorted(legacy))
+        warnings.warn(
+            f"passing synthesis keywords ({named}) to {caller}() is "
+            f"deprecated; pass options=SynthesisOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        merged = dict(legacy_defaults or {})
+        merged.update(legacy)
+        return SynthesisOptions(**merged)
+    if options is None:
+        return SynthesisOptions(**(legacy_defaults or {}))
+    if not isinstance(options, SynthesisOptions):
+        raise TypeError(
+            f"{caller}() options must be a SynthesisOptions, "
+            f"not {type(options).__name__}"
+        )
+    return options

@@ -20,8 +20,7 @@ from repro.runtime.report import (
 )
 
 
-def run_synthesis(stg, method="modular", engine="hybrid", budget=None,
-                  fallback=True, minimize=True, limits=None):
+def run_synthesis(stg, method="modular", options=None, **legacy):
     """Synthesise ``stg`` under a global budget; never raise a ReproError.
 
     Parameters
@@ -32,15 +31,17 @@ def run_synthesis(stg, method="modular", engine="hybrid", budget=None,
     method:
         ``"modular"`` (the paper's), ``"direct"`` (Vanbekbergen-style
         monolithic) or ``"lavagno"`` (sequential state-table baseline).
-    engine:
-        SAT engine for every solve.
-    budget:
-        :class:`~repro.runtime.budget.Budget`; ``None`` means unlimited.
-    fallback:
-        Enable the engine-fallback ladder and (for the modular method)
-        per-output graceful degradation.
-    limits:
-        Optional per-solve :class:`~repro.sat.solver.Limits` override.
+    options:
+        A :class:`~repro.runtime.options.SynthesisOptions`, forwarded to
+        the chosen method.  When omitted the orchestrator keeps its
+        historically resilient defaults: the engine-fallback ladder is
+        on and, for the modular method, drives per-output graceful
+        degradation.
+    **legacy:
+        The pre-options keyword arguments (``engine``, ``budget``,
+        ``fallback``, ``minimize``, ``limits``), still accepted with a
+        :class:`DeprecationWarning`.  On this path ``degrade`` follows
+        ``fallback`` for the modular method, as it always did.
 
     Returns
     -------
@@ -53,29 +54,31 @@ def run_synthesis(stg, method="modular", engine="hybrid", budget=None,
     # layers, which import this package's leaf modules at load time.
     from repro.baselines import lavagno_synthesis
     from repro.csc import direct_synthesis, modular_synthesis
+    from repro.runtime.options import coerce_options
 
+    opts = coerce_options(
+        options, legacy, "run_synthesis", legacy_defaults={"fallback": True}
+    )
+    if options is None and "degrade" not in legacy:
+        opts = opts.evolve(degrade=opts.fallback)
+
+    budget = opts.budget
     if budget is None:
         budget = Budget.unlimited()
+    opts = opts.evolve(budget=budget)
+    engine = opts.engine
 
     with obs.span("run", method=method, engine=engine) as run_span:
         try:
             if method == "modular":
-                result = modular_synthesis(
-                    stg, limits=limits, minimize=minimize, engine=engine,
-                    budget=budget, fallback=fallback, degrade=fallback,
-                )
+                result = modular_synthesis(stg, options=opts)
                 report = result.report
             elif method == "direct":
-                result = direct_synthesis(
-                    stg, limits=limits, minimize=minimize, engine=engine,
-                    budget=budget, fallback=fallback,
-                )
+                result = direct_synthesis(stg, options=opts)
                 report = RunReport(method=method, engine=engine)
                 report.finish(budget=budget)
             elif method == "lavagno":
-                result = lavagno_synthesis(
-                    stg, limits=limits, minimize=minimize, engine=engine
-                )
+                result = lavagno_synthesis(stg, options=opts)
                 report = RunReport(method=method, engine=engine)
                 report.finish(budget=budget)
             else:

@@ -18,25 +18,30 @@ from repro.stategraph.build import (
 from repro.stategraph.csc import (
     code_classes,
     csc_conflicts,
+    csc_conflicts_and_bound,
     csc_lower_bound,
     max_csc,
     paper_lower_bound,
     usc_pairs,
 )
-from repro.stategraph.quotient import QuotientGraph, quotient
+from repro.stategraph.quotient import QuotientGraph, quotient, refine
+from repro.stategraph.view import StateGraphView
 
 __all__ = [
     "EPSILON",
     "InconsistentStgError",
     "QuotientGraph",
     "StateGraph",
+    "StateGraphView",
     "build_state_graph",
     "code_classes",
     "csc_conflicts",
+    "csc_conflicts_and_bound",
     "csc_lower_bound",
     "infer_signal_values",
     "max_csc",
     "paper_lower_bound",
     "quotient",
+    "refine",
     "usc_pairs",
 ]

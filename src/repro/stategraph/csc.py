@@ -7,11 +7,12 @@ Definitions (paper, Section 2):
   same non-input signals -- equivalently (for equal codes) when some
   non-input signal has different *implied* values in the two states.
 
-All functions here accept either a plain
-:class:`~repro.stategraph.graph.StateGraph` or a
+All functions here accept any :class:`~repro.stategraph.view.
+StateGraphView` -- a plain :class:`~repro.stategraph.graph.StateGraph`, a
 :class:`~repro.stategraph.quotient.QuotientGraph` (whose merged states may
-carry *sets* of implied values), and an optional ``extra_codes`` argument
-appending already-inserted state-signal value bits to every state code.
+carry *sets* of implied values), or any structural equivalent -- and an
+optional ``extra_codes`` argument appending already-inserted state-signal
+value bits to every state code.
 """
 
 from __future__ import annotations
@@ -111,6 +112,43 @@ def csc_conflicts(graph, outputs=None, extra_codes=None, extra_implied=None):
                 ):
                     conflicts.append((a, b))
     return conflicts
+
+
+def csc_conflicts_and_bound(graph, outputs=None, extra_codes=None,
+                            extra_implied=None):
+    """Conflict pairs and the refined lower bound, in one pass.
+
+    Equivalent to ``(csc_conflicts(...), csc_lower_bound(...))`` but the
+    per-state implied-value signatures -- the dominant cost -- are
+    computed once and shared.  This is the form the greedy input-set
+    derivation calls per candidate signal, where both numbers gate the
+    same removal decision.
+    """
+    outs = _analysis_outputs(graph, outputs)
+    conflicts = []
+    bound = 0
+    for states in code_classes(graph, extra_codes).values():
+        implied = {
+            state: _signature(graph, state, outs, extra_implied)
+            for state in states
+        }
+        signatures = set()
+        for state in states:
+            signature = implied[state]
+            if any(len(v) > 1 for v in signature):
+                conflicts.append((state, state))
+                bound = math.inf
+            signatures.add(signature)
+        if bound is not math.inf and len(signatures) > 1:
+            bound = max(bound, math.ceil(math.log2(len(signatures))))
+        for i, a in enumerate(states):
+            for b in states[i + 1:]:
+                if any(
+                    len(va | vb) > 1
+                    for va, vb in zip(implied[a], implied[b])
+                ):
+                    conflicts.append((a, b))
+    return conflicts, bound
 
 
 def persistence_violations(graph, signals=None):

@@ -38,10 +38,17 @@ class StateGraph:
     markings:
         Optional list mapping state ids to the Petri net markings they
         were generated from (informational only).
+    check:
+        Validate every edge against the consistent-state-assignment rules.
+        Constructors that build edges from an already validated graph (the
+        ε-merging quotient, its incremental refinement) pass ``False``:
+        their edges are projections of checked ones, and re-validation is
+        pure overhead in the projection hot loop.
     """
 
     def __init__(
-        self, signals, codes, edges, non_inputs, initial=0, markings=None
+        self, signals, codes, edges, non_inputs, initial=0, markings=None,
+        check=True,
     ):
         self.signals = tuple(signals)
         self._index = {s: i for i, s in enumerate(self.signals)}
@@ -67,8 +74,10 @@ class StateGraph:
         self._out = [[] for _ in self.codes]
         self._in = [[] for _ in self.codes]
         self._excitation_cache = [None] * len(self.codes)
+        self._by_signal = None
         for source, label, target in edges:
-            self._check_edge(source, label, target)
+            if check:
+                self._check_edge(source, label, target)
             self.edges.append((source, label, target))
             self._out[source].append((label, target))
             self._in[target].append((label, source))
@@ -130,6 +139,26 @@ class StateGraph:
     def in_edges(self, state):
         """Incoming ``(label, source)`` pairs."""
         return list(self._in[state])
+
+    def edges_by_signal(self, signal):
+        """Edges ``(source, label, target)`` labelled by ``signal``.
+
+        Pass :data:`EPSILON` for the silent edges.  The index is built
+        lazily on first use and shared by every later call, so union
+        passes over a handful of hidden signals no longer scan the whole
+        edge list.  Unknown signals return an empty tuple (a hidden-set
+        union pass may name signals this graph never fires).
+        """
+        if self._by_signal is None:
+            index = {}
+            for edge in self.edges:
+                label = edge[1]
+                key = EPSILON if label is EPSILON else label[0]
+                index.setdefault(key, []).append(edge)
+            self._by_signal = {
+                key: tuple(edges) for key, edges in index.items()
+            }
+        return self._by_signal.get(signal, ())
 
     def value(self, state, signal):
         """Binary value of a code signal in a state."""

@@ -111,7 +111,129 @@ def quotient(base, hidden_signals):
     if unknown:
         raise ValueError(f"cannot hide unknown signals: {sorted(unknown)}")
 
-    parent = list(range(base.num_states))
+    cover, blocks = _merge_blocks(base, hidden)
+
+    kept = [s for s in base.signals if s not in hidden]
+    kept_idx = [base.signal_index(s) for s in kept]
+    codes = _projected_codes(base, blocks, kept_idx)
+
+    macro_edges = set()
+    for signal in kept:
+        for source, label, target in base.edges_by_signal(signal):
+            macro_edges.add((cover[source], label, cover[target]))
+
+    graph = StateGraph(
+        kept,
+        codes,
+        sorted(macro_edges, key=_edge_sort_key),
+        non_inputs=base.non_inputs - hidden,
+        initial=cover[base.initial],
+        check=False,
+    )
+    # The quotient is called inside tight derivation loops; counters only,
+    # no span of its own (the callers open "project"/"input_set" spans).
+    if obs.enabled():
+        obs.add("quotients")
+        obs.add("eps_merges", base.num_states - len(blocks))
+        obs.add("cover_map_size", len(cover))
+    return QuotientGraph(base, graph, cover, blocks, hidden)
+
+
+def refine(prior, extra_hidden):
+    """Hide ``extra_hidden`` on top of an existing quotient, incrementally.
+
+    Observably identical to ``quotient(prior.base, prior.hidden |
+    extra_hidden)`` -- same macro state numbering, codes, cover map,
+    blocks and edges -- but computed on the (much smaller) merged graph
+    of ``prior`` and composed through its cover map, instead of
+    re-merging the complete base graph.  This is what makes the greedy
+    input-set loop incremental: every trial is a superset
+    ``hidden ∪ {s}`` of the current hidden set, so each one is a single
+    refinement step away from the projection already in hand.
+
+    The equivalence rests on two invariants of :func:`quotient`: macro
+    ids are numbered by smallest member (so composing two
+    smallest-member orderings yields a smallest-member ordering), and
+    macro edges are the label-preserving images of base edges (so images
+    of images are images of the composition).
+
+    Counted as ``quotient_refines`` in :mod:`repro.obs`, *not* as
+    ``quotients``: the ``quotients`` counter measures from-scratch
+    merges of a base graph, the expensive operation this function
+    exists to avoid.
+
+    Parameters
+    ----------
+    prior:
+        A :class:`QuotientGraph` to refine.
+    extra_hidden:
+        Additional signals to hide; signals already hidden are ignored.
+
+    Returns
+    -------
+    QuotientGraph
+        Over ``prior.base`` (not over ``prior.graph``).
+    """
+    extra = frozenset(extra_hidden) - prior.hidden
+    if not extra:
+        return prior
+    inner = prior.graph
+    unknown = extra - set(inner.signals)
+    if unknown:
+        raise ValueError(f"cannot hide unknown signals: {sorted(unknown)}")
+    hidden = prior.hidden | extra
+
+    inner_cover, inner_blocks = _merge_blocks(inner, extra)
+
+    # Compose covers and blocks back onto the base graph.  Macro ids of
+    # ``prior`` increase with their smallest base member, so ordering the
+    # composed blocks by smallest *inner* member (what _merge_blocks did)
+    # equals ordering by smallest base member -- the numbering
+    # :func:`quotient` would have produced from scratch.
+    blocks = [
+        tuple(sorted(
+            state
+            for inner_macro in members
+            for state in prior.blocks[inner_macro]
+        ))
+        for members in inner_blocks
+    ]
+    cover = [inner_cover[prior.cover[s]] for s in range(len(prior.cover))]
+
+    kept = [s for s in inner.signals if s not in extra]
+    kept_idx = [inner.signal_index(s) for s in kept]
+    codes = _projected_codes(inner, inner_blocks, kept_idx)
+
+    macro_edges = set()
+    for signal in kept:
+        for source, label, target in inner.edges_by_signal(signal):
+            macro_edges.add(
+                (inner_cover[source], label, inner_cover[target])
+            )
+
+    graph = StateGraph(
+        kept,
+        codes,
+        sorted(macro_edges, key=_edge_sort_key),
+        non_inputs=inner.non_inputs - extra,
+        initial=inner_cover[inner.initial],
+        check=False,
+    )
+    if obs.enabled():
+        obs.add("quotient_refines")
+        obs.add("eps_merges", inner.num_states - len(inner_blocks))
+        obs.add("cover_map_size", len(cover))
+    return QuotientGraph(prior.base, graph, cover, blocks, hidden)
+
+
+def _merge_blocks(graph, hidden):
+    """Union-find partition of ``graph`` under ε and ``hidden`` edges.
+
+    Returns ``(cover, blocks)`` with blocks numbered in order of their
+    smallest member, so macro state ids are stable across runs (and
+    across the from-scratch / incremental construction paths).
+    """
+    parent = list(range(graph.num_states))
 
     def find(x):
         root = x
@@ -126,29 +248,30 @@ def quotient(base, hidden_signals):
         if ra != rb:
             parent[rb] = ra
 
-    for source, label, target in base.edges:
-        if label is EPSILON or label[0] in hidden:
+    for source, _label, target in graph.edges_by_signal(EPSILON):
+        union(source, target)
+    for signal in hidden:
+        for source, _label, target in graph.edges_by_signal(signal):
             union(source, target)
 
-    # Number the blocks in order of their smallest member, so macro state
-    # ids are stable across runs.
     roots = {}
-    for state in base.states():
+    for state in graph.states():
         roots.setdefault(find(state), []).append(state)
     blocks = [tuple(sorted(members)) for members in roots.values()]
     blocks.sort(key=lambda members: members[0])
-    cover = [0] * base.num_states
+    cover = [0] * graph.num_states
     for macro, members in enumerate(blocks):
         for state in members:
             cover[state] = macro
+    return cover, blocks
 
-    kept = [s for s in base.signals if s not in hidden]
-    kept_idx = [base.signal_index(s) for s in kept]
 
+def _projected_codes(graph, blocks, kept_idx):
+    """Per-block codes projected onto the kept signal indices."""
     codes = []
     for members in blocks:
         projected = {
-            tuple(base.code_of(m)[i] for i in kept_idx) for m in members
+            tuple(graph.code_of(m)[i] for i in kept_idx) for m in members
         }
         if len(projected) != 1:
             raise AssertionError(
@@ -156,27 +279,7 @@ def quotient(base, hidden_signals):
                 "violated"
             )
         codes.append(projected.pop())
-
-    macro_edges = set()
-    for source, label, target in base.edges:
-        if label is EPSILON or label[0] in hidden:
-            continue
-        macro_edges.add((cover[source], label, cover[target]))
-
-    graph = StateGraph(
-        kept,
-        codes,
-        sorted(macro_edges, key=_edge_sort_key),
-        non_inputs=base.non_inputs - hidden,
-        initial=cover[base.initial],
-    )
-    # The quotient is called inside tight derivation loops; counters only,
-    # no span of its own (the callers open "project"/"input_set" spans).
-    if obs.enabled():
-        obs.add("quotients")
-        obs.add("eps_merges", base.num_states - len(blocks))
-        obs.add("cover_map_size", len(cover))
-    return QuotientGraph(base, graph, cover, blocks, hidden)
+    return codes
 
 
 def _edge_sort_key(edge):

@@ -1,0 +1,151 @@
+"""Parallel bench runs: worker merge, journals, trace_counters."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.bench.runner import (
+    table_rows,
+    table_rows_parallel,
+    write_bench_json,
+)
+from repro.bench.table1 import main as table1_main
+from repro.obs import counter_totals, load_journal, stats_as_dict
+
+_NAMES = ["vbe-ex1", "nousc-ser"]
+
+_QUOTIENT_DROP_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "tools", "check_quotient_drop.py",
+)
+
+
+def _load_tool(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def parallel_run(tmp_path_factory):
+    prefix = str(tmp_path_factory.mktemp("journals") / "trace")
+    rows, stats, journals = table_rows_parallel(
+        names=_NAMES, methods=("modular",), minimize=False, jobs=2,
+        journal_prefix=prefix,
+    )
+    return rows, stats, journals
+
+
+def test_parallel_rows_match_serial(parallel_run):
+    rows, _stats, _journals = parallel_run
+    serial = table_rows(names=_NAMES, methods=("modular",), minimize=False)
+    assert list(rows) == list(serial)
+    for name in _NAMES:
+        got = rows[name]["modular"]
+        want = serial[name]["modular"]
+        assert got.final_states == want.final_states
+        assert got.final_signals == want.final_signals
+        assert got.note == want.note
+
+
+def test_parallel_stats_carry_cache_counters(parallel_run):
+    _rows, stats, _journals = parallel_run
+    totals = counter_totals(stats)
+    assert totals["proj_cache_misses"] > 0
+    assert totals["quotients"] >= 1
+    # One bench span per benchmark, merged across the worker processes.
+    assert stats["bench"].count == len(_NAMES)
+
+
+def test_parallel_journals_are_wellformed(parallel_run):
+    _rows, _stats, journals = parallel_run
+    assert len(journals) == len(_NAMES)
+    for journal in journals:
+        events = load_journal(journal)  # raises on a malformed journal
+        assert any(e.get("name") == "bench" for e in events)
+
+
+def test_concatenated_worker_journals_validate(parallel_run, tmp_path):
+    _rows, _stats, journals = parallel_run
+    merged = tmp_path / "merged.jsonl"
+    with open(merged, "w", encoding="utf-8") as out:
+        for journal in journals:
+            with open(journal, encoding="utf-8") as part:
+                out.write(part.read())
+    events = load_journal(str(merged))
+    headers = [e for e in events if e.get("ev") == "trace"]
+    assert len(headers) == len(_NAMES)
+
+
+def test_bench_json_from_parallel_run(parallel_run, tmp_path):
+    rows, stats, _journals = parallel_run
+    path = write_bench_json(
+        rows, "par", out_dir=str(tmp_path),
+        spans=stats_as_dict(stats),
+        trace_counters=counter_totals(stats),
+    )
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["spans"]["bench"]["count"] == len(_NAMES)
+    assert document["trace_counters"]["quotients"] >= 1
+    assert "proj_cache_misses" in document["trace_counters"]
+
+
+def test_serial_bench_json_carries_trace_counters(tmp_path):
+    with obs.tracing() as tracer:
+        rows = table_rows(names=["vbe-ex1"], methods=("modular",),
+                          minimize=False)
+    path = write_bench_json(rows, "ser", out_dir=str(tmp_path),
+                            tracer=tracer)
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["trace_counters"]["quotients"] >= 1
+    assert document["trace_counters"]["proj_cache_hits"] >= 1
+
+
+def test_table1_cli_jobs_writes_merged_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    code = table1_main([
+        "--names", ",".join(_NAMES), "--methods", "modular",
+        "--no-minimize", "--jobs", "2",
+        "--trace", str(trace),
+        "--bench-json", "jobs", "--out-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "vbe-ex1" in out and "nousc-ser" in out
+    events = load_journal(str(trace))
+    assert sum(1 for e in events if e.get("ev") == "trace") == len(_NAMES)
+    assert not list(tmp_path.glob("trace.jsonl.*"))  # partials cleaned up
+    with open(tmp_path / "BENCH_jobs.json", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert {row["benchmark"] for row in document["rows"]} == set(_NAMES)
+    assert document["trace_counters"]["quotients"] >= 1
+
+
+def test_table1_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        table1_main(["--names", "vbe-ex1", "--jobs", "0"])
+
+
+def test_quotient_drop_tool_agrees_with_artifacts(tmp_path):
+    tool = _load_tool(_QUOTIENT_DROP_TOOL, "check_quotient_drop")
+
+    def artifact(name, quotients):
+        path = tmp_path / f"BENCH_{name}.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench/1", "tag": name, "rows": [],
+            "counters": {}, "spans": None,
+            "trace_counters": {"quotients": quotients},
+        }))
+        return str(path)
+
+    assert tool.main([artifact("base", 18), artifact("cur", 2)]) == 0
+    assert tool.main([artifact("base2", 18), artifact("cur2", 10)]) == 1
+    assert tool.main([
+        artifact("base3", 18), artifact("cur3", 9), "--min-ratio", "2",
+    ]) == 0

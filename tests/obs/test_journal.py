@@ -176,11 +176,27 @@ def test_validator_rejects_unknown_parent():
     assert any("not an open span" in p for p in problems)
 
 
-def test_validator_rejects_duplicate_header_and_bad_version():
-    assert any(
-        "duplicate" in p
-        for p in validate_events([_header(), _header()])
-    )
+def test_validator_accepts_concatenated_segments():
+    # A merged parallel journal is several complete journals in a row;
+    # each header starts a fresh segment with its own id space and clock.
+    segment = [
+        _header(),
+        {"ev": "start", "id": 1, "name": "bench", "t": 0.0},
+        {"ev": "end", "id": 1, "name": "bench", "t": 1.0, "dur": 1.0},
+    ]
+    assert validate_events(segment + segment) == []
+
+
+def test_validator_rejects_header_splitting_an_open_span():
+    events = [
+        _header(),
+        {"ev": "start", "id": 1, "name": "bench", "t": 0.0},
+        _header(),
+    ]
+    assert any("never ended" in p for p in validate_events(events))
+
+
+def test_validator_rejects_bad_version():
     assert any(
         "version" in p
         for p in validate_events([{"ev": "trace", "version": 99}])

@@ -1,0 +1,160 @@
+"""Tests for the incremental projection engine (repro.perf).
+
+The load-bearing property: whatever mix of cache hits, incremental
+refinements and from-scratch merges serves a request, the resulting
+:class:`~repro.stategraph.quotient.QuotientGraph` must be *observably
+identical* to ``quotient(base, hidden)`` computed directly -- same
+macro numbering, codes, cover map, blocks and edges.  Everything
+downstream (SAT encoding, state-signal propagation, CSC analysis) reads
+projections through exactly those observables.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.perf import DEFAULT_CACHE_SIZE, ProjectionCache
+from repro.stategraph import build_state_graph, quotient, refine
+from repro.stg import parse_g
+
+from tests.example_stgs import CHOICE, CONCURRENT, CSC_CONFLICT
+
+
+def _graph(text=CONCURRENT):
+    return build_state_graph(parse_g(text))
+
+
+def assert_same_projection(actual, expected):
+    """Observable equality of two projections of the same base."""
+    assert actual.base is expected.base
+    assert actual.hidden == expected.hidden
+    assert actual.cover == expected.cover
+    assert actual.blocks == expected.blocks
+    got, want = actual.graph, expected.graph
+    assert got.signals == want.signals
+    assert got.non_inputs == want.non_inputs
+    assert got.num_states == want.num_states
+    assert got.initial == want.initial
+    assert list(got.edges) == list(want.edges)
+    for state in want.states():
+        assert got.code_of(state) == want.code_of(state)
+        assert got.excitation(state) == want.excitation(state)
+        for signal in want.signals:
+            assert actual.implied_values(state, signal) == \
+                expected.implied_values(state, signal)
+
+
+class TestRefine:
+    def test_refine_matches_from_scratch(self):
+        graph = _graph()
+        prior = quotient(graph, ["x"])
+        assert_same_projection(
+            refine(prior, ["y"]), quotient(graph, ["x", "y"])
+        )
+
+    def test_refine_with_no_new_signals_returns_prior(self):
+        graph = _graph()
+        prior = quotient(graph, ["x"])
+        assert refine(prior, []) is prior
+        assert refine(prior, ["x"]) is prior
+
+    def test_refine_rejects_unknown_signals(self):
+        prior = quotient(_graph(), ["x"])
+        with pytest.raises(ValueError):
+            refine(prior, ["nope"])
+
+    def test_refine_chain_matches_from_scratch(self):
+        graph = _graph()
+        step = quotient(graph, [])
+        hidden = []
+        for signal in ("x", "z", "y"):
+            hidden.append(signal)
+            step = refine(step, [signal])
+            assert_same_projection(step, quotient(graph, hidden))
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_hidden_chains_match_from_scratch(self, data):
+        text = data.draw(
+            st.sampled_from([CONCURRENT, CHOICE, CSC_CONFLICT])
+        )
+        graph = _graph(text)
+        order = data.draw(st.permutations(sorted(graph.signals)))
+        cut = data.draw(st.integers(min_value=0, max_value=len(order) - 1))
+        cache = ProjectionCache(graph)
+        hidden = []
+        for signal in order[:cut]:
+            hidden.append(signal)
+            served = cache.project(hidden)
+            assert_same_projection(served, quotient(graph, hidden))
+        # Replays of any prefix must hit and return the identical object.
+        for k in range(cut + 1):
+            again = cache.project(hidden[:k] if k else [])
+            assert_same_projection(again, quotient(graph, hidden[:k]))
+
+
+class TestProjectionCache:
+    def test_exact_hit_returns_same_object(self):
+        cache = ProjectionCache(_graph())
+        first = cache.project(["x"])
+        assert cache.project({"x"}) is first
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_superset_requests_are_refines_not_scratch(self):
+        cache = ProjectionCache(_graph())
+        cache.project([])
+        cache.project(["x"])
+        cache.project(["x", "y"])
+        stats = cache.stats()
+        assert stats["misses"] == 3
+        # Only the first (empty) projection merged the base graph.
+        assert stats["refines"] == 2
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        graph = _graph()
+        cache = ProjectionCache(graph, max_entries=2)
+        cache.project([])
+        cache.project(["x"])
+        cache.project(["x", "y"])  # evicts the ε-only root
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        assert frozenset() not in cache
+        assert frozenset({"x"}) in cache
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProjectionCache(_graph(), max_entries=0)
+
+    def test_seed_adopts_external_projection(self):
+        graph = _graph()
+        cache = ProjectionCache(graph)
+        cache.seed(quotient(graph, ["x"]))
+        assert frozenset({"x"}) in cache
+        assert cache.project(["x"]).hidden == frozenset({"x"})
+        assert cache.stats()["hits"] == 1
+
+    def test_seed_rejects_foreign_base(self):
+        cache = ProjectionCache(_graph(CONCURRENT))
+        other = quotient(_graph(CHOICE), [])
+        with pytest.raises(ValueError):
+            cache.seed(other)
+
+    def test_default_bound_applies(self):
+        cache = ProjectionCache(_graph())
+        assert cache.max_entries == DEFAULT_CACHE_SIZE
+
+    def test_counters_reach_the_tracer(self):
+        graph = _graph()
+        with obs.tracing() as tracer:
+            with obs.span("test"):
+                cache = ProjectionCache(graph)
+                cache.project([])          # miss, from scratch
+                cache.project(["x"])       # miss, refined from the root
+                cache.project(["x"])       # hit
+        totals = tracer.counter_totals()
+        assert totals["proj_cache_misses"] == 2
+        assert totals["proj_cache_hits"] == 1
+        assert totals["quotients"] == 1
+        assert totals["quotient_refines"] == 1

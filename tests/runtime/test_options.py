@@ -1,0 +1,142 @@
+"""Tests for SynthesisOptions, the legacy-kwarg shim, and the facade."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.baselines import lavagno_synthesis
+from repro.csc import direct_synthesis, modular_synthesis
+from repro.runtime import SynthesisOptions, coerce_options
+from repro.runtime.run import run_synthesis
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT
+
+
+class TestSynthesisOptions:
+    def test_frozen(self):
+        options = SynthesisOptions()
+        with pytest.raises(AttributeError):
+            options.engine = "dpll"
+
+    def test_evolve_replaces_fields(self):
+        options = SynthesisOptions(engine="dpll")
+        changed = options.evolve(minimize=False)
+        assert changed.engine == "dpll"
+        assert changed.minimize is False
+        assert options.minimize is True
+
+    def test_output_order_normalised_to_tuple(self):
+        options = SynthesisOptions(output_order=["b", "c"])
+        assert options.output_order == ("b", "c")
+
+    def test_per_method_defaults_resolve(self):
+        options = SynthesisOptions()
+        assert options.resolved_prefix("csc") == "csc"
+        assert options.resolved_prefix("lm") == "lm"
+        assert options.resolved_max_signals(7) == 7
+        assert SynthesisOptions(max_signals=2).resolved_max_signals(7) == 2
+        assert SynthesisOptions(signal_prefix="s").resolved_prefix("lm") \
+            == "s"
+
+
+class TestCoerceOptions:
+    def test_legacy_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="modular_synthesis"):
+            options = coerce_options(
+                None, {"minimize": False}, "modular_synthesis"
+            )
+        assert options == SynthesisOptions(minimize=False)
+
+    def test_mixing_options_and_legacy_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            coerce_options(
+                SynthesisOptions(), {"minimize": False}, "x_synthesis"
+            )
+
+    def test_unknown_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="bogus"):
+            coerce_options(None, {"bogus": 1}, "x_synthesis")
+
+    def test_non_options_value_rejected(self):
+        with pytest.raises(TypeError, match="SynthesisOptions"):
+            coerce_options({"engine": "dpll"}, {}, "x_synthesis")
+
+    def test_legacy_defaults_fill_unpassed_fields_only(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            options = coerce_options(
+                None, {"minimize": False}, "run_synthesis",
+                legacy_defaults={"fallback": True},
+            )
+        assert options.fallback is True
+        assert options.minimize is False
+        assert coerce_options(
+            None, {}, "run_synthesis", legacy_defaults={"fallback": True}
+        ).fallback is True
+
+
+class TestEntryPoints:
+    def test_modular_legacy_kwargs_still_work_with_warning(self):
+        stg = parse_g(CSC_CONFLICT)
+        with pytest.warns(DeprecationWarning, match="minimize"):
+            result = modular_synthesis(stg, minimize=False)
+        assert result.literals is None
+
+    def test_direct_legacy_kwargs_still_work_with_warning(self):
+        stg = parse_g(CSC_CONFLICT)
+        with pytest.warns(DeprecationWarning):
+            result = direct_synthesis(stg, minimize=False)
+        assert result.literals is None
+
+    def test_lavagno_legacy_kwargs_still_work_with_warning(self):
+        stg = parse_g(CSC_CONFLICT)
+        with pytest.warns(DeprecationWarning):
+            result = lavagno_synthesis(stg, minimize=False)
+        assert result.literals is None
+
+    def test_options_path_emits_no_warning(self):
+        stg = parse_g(CSC_CONFLICT)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = modular_synthesis(
+                stg, options=SynthesisOptions(minimize=False)
+            )
+        assert result.literals is None
+
+    def test_custom_signal_prefix_via_options(self):
+        stg = parse_g(CSC_CONFLICT)
+        result = modular_synthesis(
+            stg, options=SynthesisOptions(minimize=False, signal_prefix="z")
+        )
+        assert all(
+            name.startswith("z") for name in result.assignment.names
+        )
+
+    def test_run_synthesis_defaults_keep_resilience(self):
+        # No options, no kwargs: the orchestrator's historical defaults
+        # (fallback ladder + modular degradation on) still apply, with
+        # no deprecation warning.
+        stg = parse_g(CSC_CONFLICT)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = run_synthesis(stg)
+        assert report.status == "ok"
+
+    def test_run_synthesis_accepts_options(self):
+        stg = parse_g(CSC_CONFLICT)
+        report = run_synthesis(
+            stg, method="direct", options=SynthesisOptions(minimize=False)
+        )
+        assert report.status == "ok"
+        assert report.result.literals is None
+
+    def test_facade_returns_run_report(self):
+        stg = parse_g(CSC_CONFLICT)
+        report = repro.synthesize(
+            stg, options=repro.SynthesisOptions(minimize=False)
+        )
+        assert report.status == "ok"
+        assert report.result is not None
+        assert report.exit_code == 0

@@ -1,0 +1,66 @@
+"""Tests for the StateGraphView protocol."""
+
+import pytest
+
+from repro.stategraph import (
+    StateGraph,
+    StateGraphView,
+    build_state_graph,
+    csc_conflicts,
+    csc_lower_bound,
+    quotient,
+)
+from repro.stg import parse_g
+
+from tests.example_stgs import CONCURRENT, CSC_CONFLICT
+
+
+def test_state_graph_satisfies_the_view():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    assert isinstance(graph, StateGraphView)
+
+
+def test_quotient_graph_satisfies_the_view():
+    graph = build_state_graph(parse_g(CONCURRENT))
+    assert isinstance(quotient(graph, ["x"]), StateGraphView)
+
+
+def test_unrelated_object_does_not_satisfy_the_view():
+    assert not isinstance(object(), StateGraphView)
+
+
+def test_analyses_accept_a_structural_view():
+    # The contract is structural: a hand-rolled double with exactly the
+    # protocol members is analysable, no StateGraph inheritance needed.
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+
+    class Double:
+        signals = graph.signals
+        non_inputs = graph.non_inputs
+        num_states = graph.num_states
+        edges = graph.edges
+
+        def states(self):
+            return graph.states()
+
+        def code_of(self, state):
+            return graph.code_of(state)
+
+        def excitation(self, state):
+            return graph.excitation(state)
+
+        def implied_values(self, state, signal):
+            return graph.implied_values(state, signal)
+
+    double = Double()
+    assert isinstance(double, StateGraphView)
+    assert csc_conflicts(double) == csc_conflicts(graph)
+    assert csc_lower_bound(double) == csc_lower_bound(graph)
+
+
+def test_implied_value_singular_is_not_part_of_the_view():
+    # The deliberate asymmetry: plain graphs have a singular
+    # implied_value helper, but the shared contract is the set form.
+    assert hasattr(StateGraph, "implied_value")
+    assert not hasattr(StateGraphView, "implied_value")
+    assert hasattr(StateGraphView, "implied_values")

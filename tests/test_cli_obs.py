@@ -48,6 +48,14 @@ def test_metrics_prints_counter_totals_despite_quiet(spec, capsys):
     assert "states_explored" in out
 
 
+def test_metrics_surface_projection_cache_counters(spec, capsys):
+    assert main([spec, "--quiet", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "proj_cache_hits" in out
+    assert "proj_cache_misses" in out
+    assert "quotients" in out
+
+
 def test_profile_top_prints_span_table(spec, capsys):
     assert main([spec, "--quiet", "--profile-top", "3"]) == 0
     out = capsys.readouterr().out

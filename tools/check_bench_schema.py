@@ -26,7 +26,8 @@ Schema ``repro-bench/1``::
       "counters": {name: number},
       "spans": {name: {"count": int, "total_seconds": number,
                        "max_seconds": number,
-                       "counters": {name: number}}} | null
+                       "counters": {name: number}}} | null,
+      "trace_counters": {name: number}       # optional; run-wide totals
     }
 """
 
@@ -101,6 +102,13 @@ def check_document(document, problems):
         problems.append("counters missing or not an object")
     else:
         _check_counters(document["counters"], "counters", problems)
+
+    trace_counters = document.get("trace_counters")
+    if trace_counters is not None:
+        if not isinstance(trace_counters, dict):
+            problems.append("trace_counters is not an object")
+        else:
+            _check_counters(trace_counters, "trace_counters", problems)
 
     spans = document.get("spans")
     if spans is not None:

@@ -1,0 +1,83 @@
+"""Assert a bench run's ``quotients`` counter dropped against a baseline.
+
+Usage::
+
+    python tools/check_quotient_drop.py BASELINE.json CURRENT.json [--min-ratio R]
+
+Both files are ``BENCH_<tag>.json`` artifacts whose ``trace_counters``
+section carries the run-wide counter totals.  The check passes when
+
+    baseline_quotients >= min_ratio * current_quotients
+
+i.e. the current run computed at most ``1/min_ratio`` of the baseline's
+from-scratch quotient merges (cache hits and incremental refinements do
+not count as ``quotients`` -- see docs/observability.md).  The default
+ratio of 3 matches the regression bar CI holds the projection cache to.
+
+Exit 0 on pass, 1 on fail or malformed input (details on stderr).
+Dependency-free, like the other CI checkers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_quotients(path):
+    """The ``trace_counters.quotients`` total of one artifact."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    trace_counters = document.get("trace_counters")
+    if not isinstance(trace_counters, dict):
+        raise ValueError(f"{path}: no trace_counters section")
+    value = trace_counters.get("quotients")
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(
+            f"{path}: trace_counters.quotients missing or not a "
+            f"non-negative integer (got {value!r})"
+        )
+    return value
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="pre-change BENCH_<tag>.json")
+    parser.add_argument("current", help="freshly produced BENCH_<tag>.json")
+    parser.add_argument(
+        "--min-ratio", type=float, default=3.0, metavar="R",
+        help="required baseline/current ratio (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_quotients(args.baseline)
+        current = load_quotients(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if current == 0:
+        ratio = float("inf")
+    else:
+        ratio = baseline / current
+    verdict = ratio >= args.min_ratio
+    print(
+        f"quotients: baseline={baseline} current={current} "
+        f"ratio={ratio:.1f}x (required >= {args.min_ratio:.1f}x): "
+        f"{'ok' if verdict else 'FAIL'}"
+    )
+    if not verdict:
+        print(
+            "error: the projection cache is computing too many "
+            "from-scratch quotients; did a call site stop sharing the "
+            "run's ProjectionCache?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
