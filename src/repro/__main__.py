@@ -17,6 +17,10 @@ Options:
 ``--max-states N``                    cap on generated state-graph states
 ``--no-fallback``                     disable engine escalation and
                                       per-module degradation
+``--jobs N``                          parallel module-solve workers
+                                      (modular method; default 1)
+``--cache-dir PATH``                  persistent result cache directory
+``--no-cache``                        ignore ``--cache-dir``
 ``--blif PATH``                       write the circuit netlist
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
@@ -83,6 +87,18 @@ def main(argv=None):
         "--no-fallback", action="store_true",
         help="disable the engine-fallback ladder and module degradation",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for per-module solves (modular method)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent result cache directory (reused across runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir for this run",
+    )
     parser.add_argument("--blif", metavar="PATH", default=None)
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -127,9 +143,11 @@ def main(argv=None):
 
 def _run(args, stg, tracer):
     budget = Budget(max_seconds=args.timeout, max_states=args.max_states)
+    cache_dir = None if args.no_cache else args.cache_dir
     options = SynthesisOptions(
         engine=args.engine, budget=budget,
         fallback=not args.no_fallback, degrade=not args.no_fallback,
+        jobs=max(1, args.jobs), cache_dir=cache_dir,
     )
     report = run_synthesis(stg, method=args.method, options=options)
 

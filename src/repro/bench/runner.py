@@ -131,12 +131,19 @@ def _attempt_stats(attempts):
 
 
 def run_modular(name, minimize=True, graph=None, engine="hybrid",
-                budget=None, fallback=False):
-    """Run the paper's method on one benchmark."""
+                budget=None, fallback=False, cache_dir=None, jobs=1):
+    """Run the paper's method on one benchmark.
+
+    ``cache_dir`` wires the persistent
+    :class:`~repro.perf.ResultCache` in, so repeated Table-1 runs are
+    warm; ``jobs`` dispatches per-module solves to worker processes
+    (both default off, matching the historical serial cold run).
+    """
     stg, graph = _base_counts(name, graph)
     result = modular_synthesis(graph, options=SynthesisOptions(
         minimize=minimize, engine=engine, budget=budget,
         fallback=fallback, degrade=fallback,
+        cache_dir=cache_dir, jobs=jobs,
     ))
     attempts = [
         attempt for module in result.modules for attempt in module.attempts
@@ -220,10 +227,13 @@ def run_lavagno(name, minimize=True, graph=None):
     )
 
 
-def _method_rows(name, graph, methods, minimize, direct_limits):
+def _method_rows(name, graph, methods, minimize, direct_limits,
+                 cache_dir=None):
     """All requested methods on one benchmark (shared state graph)."""
     runners = {
-        "modular": lambda: run_modular(name, minimize=minimize, graph=graph),
+        "modular": lambda: run_modular(
+            name, minimize=minimize, graph=graph, cache_dir=cache_dir
+        ),
         "direct": lambda: run_direct(
             name, limits=direct_limits, minimize=minimize, graph=graph
         ),
@@ -235,7 +245,7 @@ def _method_rows(name, graph, methods, minimize, direct_limits):
 
 
 def table_rows(names=None, methods=("modular", "direct", "lavagno"),
-               minimize=True, direct_limits=None):
+               minimize=True, direct_limits=None, cache_dir=None):
     """Run the selected methods over the suite.
 
     Returns ``{name: {method: MethodRow}}`` in suite order.
@@ -246,7 +256,7 @@ def table_rows(names=None, methods=("modular", "direct", "lavagno"),
         stg = load_benchmark(name)
         graph = build_state_graph(stg)
         rows[name] = _method_rows(name, graph, methods, minimize,
-                                  direct_limits)
+                                  direct_limits, cache_dir=cache_dir)
     return rows
 
 
@@ -257,14 +267,14 @@ def _bench_task(task):
     private JSONL journal when the caller asked for one) and returns a
     picklable triple ``(name, {method: MethodRow}, stats_snapshot)``.
     """
-    name, methods, minimize, direct_limits, journal = task
+    name, methods, minimize, direct_limits, journal, cache_dir = task
     tracer = obs.install(obs.Tracer(journal=journal))
     try:
         with obs.span("bench", benchmark=name):
             stg = load_benchmark(name)
             graph = build_state_graph(stg)
             per_method = _method_rows(name, graph, methods, minimize,
-                                      direct_limits)
+                                      direct_limits, cache_dir=cache_dir)
     finally:
         obs.uninstall()
         tracer.close()
@@ -274,7 +284,7 @@ def _bench_task(task):
 def table_rows_parallel(names=None,
                         methods=("modular", "direct", "lavagno"),
                         minimize=True, direct_limits=None, jobs=2,
-                        journal_prefix=None):
+                        journal_prefix=None, cache_dir=None):
     """Run the suite with a process pool, one task per benchmark.
 
     Each worker traces itself; the per-process profiles are merged with
@@ -310,7 +320,7 @@ def table_rows_parallel(names=None,
             journal = f"{journal_prefix}.{name}.jsonl"
             journals.append(journal)
         tasks.append((name, tuple(methods), minimize, direct_limits,
-                      journal))
+                      journal, cache_dir))
     with multiprocessing.Pool(processes=jobs) as pool:
         results = pool.map(_bench_task, tasks)
     rows = {}

@@ -6,6 +6,7 @@ Usage::
                                  [--names mr0,nak-pa,...] [--no-minimize]
                                  [--jobs N] [--trace FILE.jsonl]
                                  [--bench-json TAG] [--out-dir DIR]
+                                 [--cache-dir DIR] [--no-cache]
 
 Prints, for every benchmark in the paper's row order, the measured
 results of each requested method next to the numbers the paper reports.
@@ -18,7 +19,9 @@ file (under ``--jobs`` the per-worker journals are concatenated into
 it, each a self-contained segment with its own header); ``--bench-json``
 additionally writes ``BENCH_<TAG>.json`` (rows + span summaries +
 run-wide counter totals, schema ``repro-bench/1``) into ``--out-dir``
-for CI to validate and archive.
+for CI to validate and archive.  ``--cache-dir`` points the modular
+method at a persistent :class:`~repro.perf.ResultCache`, so a repeated
+run (same checkout, same options) is warm; ``--no-cache`` ignores it.
 """
 
 from __future__ import annotations
@@ -133,6 +136,14 @@ def main(argv=None):
         "--out-dir", metavar="DIR", default=".",
         help="directory for BENCH_<TAG>.json (default: cwd)",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent result cache for the modular method",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir for this run",
+    )
     args = parser.parse_args(argv)
 
     methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
@@ -149,11 +160,13 @@ def main(argv=None):
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    cache_dir = None if args.no_cache else args.cache_dir
     spans = trace_counters = None
     if args.jobs > 1:
         rows, stats, journals = table_rows_parallel(
             names=names, methods=methods, minimize=not args.no_minimize,
             jobs=args.jobs, journal_prefix=args.trace,
+            cache_dir=cache_dir,
         )
         if args.trace:
             _merge_journals(journals, args.trace)
@@ -167,7 +180,8 @@ def main(argv=None):
         )
         try:
             rows = table_rows(
-                names=names, methods=methods, minimize=not args.no_minimize
+                names=names, methods=methods, minimize=not args.no_minimize,
+                cache_dir=cache_dir,
             )
         finally:
             if tracer is not None:

@@ -1,0 +1,295 @@
+"""Parallel dispatch of independent per-output module solves.
+
+The paper's modules are independent SAT-CSC instances *as long as no
+earlier module's state signal enters a later module's input set*.  The
+serial loop in :func:`~repro.csc.synthesis.modular_synthesis` exploits
+nothing of that; this module runs the optimistic part on a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* every output's module is solved **against the empty assignment** (the
+  one assignment state that is a pure function of the input), using the
+  pre-scan's input-set basis and ``name_start=0``;
+* the parent then *merges* the results back in the fixed serial output
+  order (:func:`~repro.csc.synthesis.modular_synthesis` owns that loop):
+  a worker result is adopted -- with its state signals renamed to the
+  names the serial run would have used -- exactly when the output's
+  input set, recomputed against the accumulated assignment, still hides
+  the same signals and kept no earlier state signal.  Otherwise the
+  module is *sequentially dependent* and is re-solved serially on the
+  spot, which is bit-identical to what the serial loop does.
+
+This makes ``jobs=N`` an execution detail: the merged assignment,
+signal names, reports and covers are identical to ``jobs=1`` (the
+determinism contract of ``docs/parallelism.md``).
+
+Worker budgets come from :meth:`repro.runtime.budget.Budget.split`:
+every worker shares the parent's absolute wall deadline and owns
+``1/jobs`` of the backtrack pool; the parent re-charges the workers'
+actual usage at merge time.  Worker failures never crash the run: a
+:class:`~repro.csc.errors.CscError` (or any unexpected worker
+exception) travels back as data and enters the serial ``degrade=`` path
+at that output's turn, and a worker budget exhaustion re-raises
+:class:`~repro.runtime.budget.BudgetExhaustedError` in the parent.
+
+Fault injection (``module-solve``) is consulted *parent-side* at
+dispatch, in output order -- worker processes clear the inherited fault
+registry -- so armed faults fire deterministically regardless of
+worker scheduling.
+
+Tracing: when the parent has a tracer installed, every worker traces
+its own solves into an in-memory journal; the parent folds the
+profiles into its own (:meth:`repro.obs.tracer.Tracer.absorb`) and the
+journal text is appended to the parent's sink as a self-contained
+segment, the same shape the parallel bench runner produces.
+"""
+
+from __future__ import annotations
+
+import io
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import obs
+from repro.csc.assignment import Assignment
+from repro.csc.errors import CscError, SynthesisError
+from repro.csc.modular import partition_sat
+from repro.obs.tracer import Tracer
+from repro.runtime.budget import BudgetExhaustedError
+from repro.runtime.faults import should_fire as _fault_fires
+
+#: ``prepared`` entry tags (see :func:`prepare_parallel`).
+PREPARED_PARTITION = "partition"
+PREPARED_ERROR = "error"
+PREPARED_BUDGET = "budget"
+
+
+# -- worker side -----------------------------------------------------------
+
+_worker = {}
+
+
+def _init_worker(graph, params, budget_slice, trace):
+    """Per-process setup: the graph, solve parameters, budget, cache.
+
+    Runs once per pool worker.  The inherited fault registry is cleared
+    -- faults are the parent's to fire, at dispatch, in output order --
+    and the worker's budget slice starts counting now (the pool starts
+    all workers at dispatch time, so "now" is the split instant).
+    """
+    from repro.perf import ProjectionCache
+    from repro.runtime import faults
+
+    faults.clear()
+    _worker["graph"] = graph
+    _worker["params"] = params
+    _worker["budget"] = (
+        budget_slice.start() if budget_slice is not None else None
+    )
+    _worker["cache"] = ProjectionCache(graph)
+    _worker["trace"] = trace
+
+
+def _solve_one(output, input_set):
+    """Solve one output's module against the empty assignment.
+
+    Returns a plain dict (everything picklable):
+
+    * ``{"status": "ok", "partition": ..., "backtracks": n, ...}`` --
+      the :class:`~repro.csc.modular.PartitionResult`, solved with
+      ``name_start=0`` and its quotient detached from the base graph
+      (the parent already holds Σ and reattaches it);
+    * ``{"status": "error", "exc": ...}`` -- the solve failed; the
+      exception object rides along so the parent's degrade detail is
+      the same string the serial path would record;
+    * ``{"status": "budget", ...}`` -- this worker's budget slice is
+      exhausted.
+    """
+    graph = _worker["graph"]
+    params = _worker["params"]
+    budget = _worker["budget"]
+    tracer = buffer = None
+    if _worker["trace"]:
+        buffer = io.StringIO()
+        tracer = obs.install(Tracer(journal=buffer))
+    used_before = budget.backtracks_used if budget is not None else 0
+    try:
+        empty = Assignment.empty(graph.num_states)
+        try:
+            result = partition_sat(
+                graph, output, input_set, empty,
+                limits=params["limits"],
+                max_signals=params["max_signals"],
+                name_start=0,
+                signal_prefix=params["signal_prefix"],
+                engine=params["engine"],
+                budget=budget,
+                fallback=params["fallback"],
+                cache=_worker["cache"],
+            )
+        except BudgetExhaustedError as exc:
+            return _finish({
+                "status": "budget",
+                "message": str(exc),
+                "resource": exc.resource,
+                "point": exc.point,
+            }, budget, used_before, tracer, buffer)
+        except CscError as exc:
+            return _finish(
+                {"status": "error", "exc": exc},
+                budget, used_before, tracer, buffer,
+            )
+        except Exception as exc:  # unexpected: degrade, don't crash the run
+            wrapped = SynthesisError(
+                f"module worker failed for {output!r}: {exc}"
+            )
+            return _finish(
+                {"status": "error", "exc": wrapped},
+                budget, used_before, tracer, buffer,
+            )
+        # Detach the quotient from Σ for the wire (the parent already
+        # holds the graph and reattaches it).  A *copy*, not an in-place
+        # ``base = None``: the projection cache may hand this same
+        # QuotientGraph to this worker's next solve.
+        from repro.stategraph.quotient import QuotientGraph
+
+        q = result.quotient
+        result.quotient = QuotientGraph(
+            None, q.graph, q.cover, q.blocks, q.hidden
+        )
+        return _finish(
+            {"status": "ok", "partition": result},
+            budget, used_before, tracer, buffer,
+        )
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+
+
+def _finish(payload, budget, used_before, tracer, buffer):
+    """Attach budget usage and trace data to a worker payload."""
+    if budget is not None:
+        payload["backtracks"] = budget.backtracks_used - used_before
+    if tracer is not None:
+        tracer.close()
+        payload["stats"] = tracer.stats_dict()
+        payload["journal"] = buffer.getvalue()
+    return payload
+
+
+# -- parent side -----------------------------------------------------------
+
+def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
+                     signal_prefix, engine, budget, fallback, jobs):
+    """Solve the listed outputs' modules on a worker pool.
+
+    Parameters
+    ----------
+    graph:
+        The complete state graph Σ (shipped to each worker once).
+    outputs:
+        Outputs to dispatch, in the run's fixed processing order.
+    basis:
+        ``{output: InputSetResult}`` derived against the empty
+        assignment (the pre-scan's work).
+    budget:
+        The parent :class:`~repro.runtime.budget.Budget`; split into
+        per-worker slices.  Workers' backtrack usage is charged back
+        here as results arrive.
+    jobs:
+        Worker process count (>= 2; the serial loop handles 1).
+
+    Returns
+    -------
+    dict
+        ``{output: entry}`` where ``entry`` is one of
+
+        * ``(PREPARED_PARTITION, PartitionResult)`` -- solved at
+          ``name_start=0``, quotient reattached to ``graph``;
+        * ``(PREPARED_ERROR, exception)`` -- the module failed (or an
+          armed ``module-solve`` fault fired at dispatch);
+        * ``(PREPARED_BUDGET, message, resource, point)`` -- that
+          worker's budget slice ran out.
+    """
+    prepared = {}
+    to_dispatch = []
+    for output in outputs:
+        # The parent owns fault shots: deterministic in output order,
+        # independent of worker scheduling (workers clear the registry).
+        if _fault_fires("module-solve", detail=output):
+            prepared[output] = (PREPARED_ERROR, SynthesisError(
+                f"injected fault: modular solve failed for {output!r}"
+            ))
+            continue
+        to_dispatch.append(output)
+    if not to_dispatch:
+        return prepared
+
+    trace = obs.enabled()
+    params = {
+        "limits": limits,
+        "max_signals": max_signals,
+        "signal_prefix": signal_prefix,
+        "engine": engine,
+        "fallback": fallback,
+    }
+    workers = min(jobs, len(to_dispatch))
+    budget_slice = budget.split(workers)[0] if budget is not None else None
+    with obs.span("module_parallel", jobs=workers,
+                  modules=len(to_dispatch)) as span:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(graph, params, budget_slice, trace),
+        ) as pool:
+            futures = {
+                output: pool.submit(_solve_one, output, basis[output])
+                for output in to_dispatch
+            }
+            for output in to_dispatch:
+                payload = futures[output].result()
+                prepared[output] = _absorb_payload(
+                    payload, output, graph, budget
+                )
+        span.add("parallel_modules", len(to_dispatch))
+    obs.add("parallel_runs")
+    return prepared
+
+
+def _absorb_payload(payload, output, graph, budget):
+    """Turn one worker payload into a ``prepared`` entry.
+
+    Side effects: charges the worker's backtracks to the parent budget
+    and folds the worker's trace into the installed tracer.
+    """
+    if budget is not None:
+        budget.charge_backtracks(payload.get("backtracks", 0))
+    tracer = obs.active()
+    if tracer is not None and "stats" in payload:
+        tracer.absorb(payload.get("stats"), payload.get("journal"))
+    status = payload["status"]
+    if status == "ok":
+        partition = payload["partition"]
+        partition.quotient.base = graph
+        return (PREPARED_PARTITION, partition)
+    if status == "budget":
+        return (
+            PREPARED_BUDGET, payload["message"],
+            payload.get("resource"), payload.get("point"),
+        )
+    return (PREPARED_ERROR, payload["exc"])
+
+
+def rename_partition(partition, signal_prefix, name_start):
+    """The serial-run names for a worker- or cache-produced partition.
+
+    Workers and cache records number state signals from zero; the merge
+    loop renames them to ``{prefix}{name_start+k}`` -- exactly the names
+    ``partition_sat`` would have chosen at that point of the serial run.
+    The partition is mutated in place (worker results and cache loads
+    are single-use objects).
+    """
+    macro = partition.macro_assignment
+    names = [
+        f"{signal_prefix}{name_start + k}" for k in range(macro.num_signals)
+    ]
+    partition.macro_assignment = Assignment(names, macro.values)
+    return partition

@@ -28,6 +28,7 @@ from repro.runtime.report import (
     MODULE_DEGRADED,
     MODULE_OK,
     MODULE_SKIPPED,
+    RUN_OK,
     RUN_TIMEOUT,
     RunReport,
 )
@@ -200,6 +201,29 @@ def modular_synthesis(stg, options=None, **legacy):
     budget = opts.budget
     fallback = opts.fallback
     degrade = opts.degrade
+    jobs = opts.jobs or 1
+
+    rcache = artifact_key = base_fp = opts_fp = None
+    if opts.cache_dir is not None:
+        from repro.perf.result_cache import (
+            ResultCache,
+            graph_fingerprint,
+            options_fingerprint,
+        )
+
+        rcache = ResultCache(opts.cache_dir)
+        opts_fp = options_fingerprint(opts, "modular")
+        if isinstance(stg, StateGraph):
+            base_fp = graph_fingerprint(stg)
+        else:
+            from repro.stg.canonical import g_fingerprint
+
+            base_fp = g_fingerprint(stg)
+        artifact_key = ResultCache.key(base_fp, opts_fp, "artifact", "modular")
+        cached = rcache.get("artifact", artifact_key)
+        if cached is not None:
+            return cached
+
     if isinstance(stg, StateGraph):
         graph = stg
     else:
@@ -215,6 +239,13 @@ def modular_synthesis(stg, options=None, **legacy):
     if unknown:
         raise ValueError(f"not non-input signals: {sorted(unknown)}")
 
+    prepared, basis, module_keys = _prepare_modules(
+        graph, outputs, prescan, cache, rcache, base_fp, opts_fp,
+        limits=limits, max_signals=max_signals,
+        signal_prefix=signal_prefix, engine=engine, budget=budget,
+        fallback=fallback, jobs=jobs,
+    )
+
     report = RunReport(method="modular", engine=engine)
     assignment = Assignment.empty(graph.num_states)
     modules = []
@@ -228,6 +259,9 @@ def modular_synthesis(stg, options=None, **legacy):
                 signal_prefix=signal_prefix, engine=engine,
                 budget=budget, fallback=fallback, degrade=degrade,
                 cache=cache, prescan=prescan,
+                prepared=prepared, basis=basis, rcache=rcache,
+                rkey=module_keys.get(output),
+                cacheable=rcache is not None and _cache_safe(budget),
             )
 
         with obs.span("repair"):
@@ -266,15 +300,139 @@ def modular_synthesis(stg, options=None, **legacy):
         exc.report = report
         raise
     report.finish(budget=budget)
-    return ModularResult(
+    result = ModularResult(
         graph, expanded, assignment, modules, repair_attempts, covers,
         literals, watch.elapsed(), report=report,
     )
+    if (rcache is not None and _cache_safe(budget)
+            and report.status == RUN_OK):
+        rcache.put("artifact", artifact_key, result)
+    return result
+
+
+def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
+                     opts_fp, *, limits, max_signals, signal_prefix,
+                     engine, budget, fallback, jobs):
+    """Pre-solve modules from the result cache and/or a worker pool.
+
+    Returns ``(prepared, basis, module_keys)``:
+
+    * ``prepared`` -- ``{output: entry}`` in the
+      :mod:`repro.csc.parallel` entry format, empty for the plain
+      serial path (``jobs == 1``, no cache);
+    * ``basis`` -- per-output input sets derived against the empty
+      assignment (the adoption test of the merge loop compares against
+      these), or ``None`` on the plain serial path;
+    * ``module_keys`` -- per-output result-cache keys, for storing
+      serial solves on the way out.
+
+    Cache lookups come first, then the ``module-solve`` fault check and
+    worker dispatch for the remainder -- all in the fixed output order,
+    so fault shots and cache counters land deterministically.
+    """
+    if jobs <= 1 and rcache is None:
+        return {}, None, {}
+    from repro.csc.parallel import PREPARED_PARTITION, prepare_parallel
+    from repro.perf.result_cache import ResultCache
+
+    empty = Assignment.empty(graph.num_states)
+    basis = dict(prescan)
+    for output in outputs:
+        if output not in basis:
+            basis[output] = determine_input_set(
+                graph, output, empty, cache=cache
+            )
+
+    prepared = {}
+    module_keys = {}
+    to_solve = list(outputs)
+    if rcache is not None:
+        remaining = []
+        for output in to_solve:
+            key = ResultCache.key(base_fp, opts_fp, "module", output)
+            module_keys[output] = key
+            payload = rcache.get("module", key)
+            if payload is not None:
+                payload.quotient.base = graph
+                prepared[output] = (PREPARED_PARTITION, payload)
+            else:
+                remaining.append(output)
+        to_solve = remaining
+
+    if jobs > 1 and to_solve:
+        prepared.update(prepare_parallel(
+            graph, to_solve, basis, limits=limits,
+            max_signals=max_signals, signal_prefix=signal_prefix,
+            engine=engine, budget=budget, fallback=fallback, jobs=jobs,
+        ))
+    return prepared, basis, module_keys
+
+
+def _cache_safe(budget):
+    """May this run's results enter the persistent cache?
+
+    A wall or backtrack budget clips per-solve limits
+    (:meth:`~repro.runtime.budget.Budget.sub_limits`), so a budgeted
+    run can legitimately produce *different* -- still valid -- results
+    than an unbudgeted one; caching them under a key that ignores the
+    budget would poison later unbudgeted runs.  A pure state cap is
+    safe: it only ever aborts, it never alters a result.
+    """
+    return budget is None or (
+        budget.max_seconds is None and budget.max_backtracks is None
+    )
+
+
+def _reusable(input_set, basis_entry, assignment):
+    """May an empty-assignment solve stand in for this module's solve?
+
+    Trivially yes before any state signal exists.  Afterwards, the solve
+    only depends on the accumulated assignment through (a) the hidden
+    signal list and (b) the kept state signals' merged codes -- so a
+    module whose recomputed input set hides the same signals and keeps
+    *no* earlier state signal is still the pure function of the input
+    the worker (or cache record) computed.  Anything else is
+    sequentially dependent and must be re-solved in place.
+    """
+    if assignment.num_signals == 0:
+        return True
+    if basis_entry is None:
+        return False
+    return (
+        not input_set.kept_state_signals
+        and list(input_set.removal_order) == list(basis_entry.removal_order)
+    )
+
+
+def _detached_for_cache(partition, signal_prefix):
+    """A base-named, Σ-detached copy of a partition for the cache.
+
+    Cache records are stored in the worker normal form -- state signals
+    numbered from zero, quotient detached from the base graph -- so one
+    record serves any run position the merge loop later adopts it at.
+    """
+    from repro.csc.modular import PartitionResult
+    from repro.stategraph.quotient import QuotientGraph
+
+    q = partition.quotient
+    macro = partition.macro_assignment
+    names = [f"{signal_prefix}{k}" for k in range(macro.num_signals)]
+    copy = PartitionResult(
+        partition.output,
+        QuotientGraph(None, q.graph, q.cover, q.blocks, q.hidden),
+        Assignment(names, macro.values),
+        partition.outcome,
+    )
+    copy.fallback_unhidden = list(partition.fallback_unhidden)
+    copy.fallback_error = None
+    return copy
 
 
 def _solve_module(graph, output, assignment, modules, report, *,
                   limits, max_signals, signal_prefix, engine, budget,
-                  fallback, degrade, cache=None, prescan=None):
+                  fallback, degrade, cache=None, prescan=None,
+                  prepared=None, basis=None, rcache=None, rkey=None,
+                  cacheable=False):
     """One output's modular pass, degrading per policy on failure.
 
     Returns the extended assignment and appends to ``modules`` /
@@ -284,7 +442,21 @@ def _solve_module(graph, output, assignment, modules, report, *,
     long as no state signal has been inserted yet -- the derivation is a
     pure function of (graph, output, assignment), and the pre-scan
     already ran it.
+
+    A ``prepared`` entry (worker pool or result cache, see
+    :func:`_prepare_modules`) is adopted -- renamed to the names this
+    point of the serial run would use -- when :func:`_reusable` holds;
+    a sequentially-dependent module falls through to the normal serial
+    solve.  Worker errors enter the same ``degrade`` path a serial
+    solve failure would, and worker budget exhaustion re-raises here.
     """
+    from repro.csc.parallel import (
+        PREPARED_BUDGET,
+        PREPARED_ERROR,
+        PREPARED_PARTITION,
+        rename_partition,
+    )
+
     with obs.span("module", output=output) as module_span:
         with obs.span("input_set", output=output) as input_span:
             input_set = None
@@ -297,18 +469,55 @@ def _solve_module(graph, output, assignment, modules, report, *,
                 input_set = determine_input_set(
                     graph, output, assignment, cache=cache
                 )
-        try:
-            partition = partition_sat(
-                graph, output, input_set, assignment, limits=limits,
-                max_signals=max_signals, name_start=assignment.num_signals,
-                signal_prefix=signal_prefix, engine=engine, budget=budget,
-                fallback=fallback, cache=cache,
-            )
-        except CscError as exc:
+
+        partition = None
+        cause = None
+        entry = prepared.get(output) if prepared else None
+        if entry is not None:
+            tag = entry[0]
+            if tag == PREPARED_BUDGET:
+                _, message, resource, point = entry
+                raise BudgetExhaustedError(
+                    message, resource=resource, point=point
+                )
+            if tag == PREPARED_ERROR:
+                cause = entry[1]
+            elif tag == PREPARED_PARTITION:
+                if _reusable(input_set, basis.get(output), assignment):
+                    partition = rename_partition(
+                        entry[1], signal_prefix, assignment.num_signals
+                    )
+                    obs.add("parallel_adopted")
+                    module_span.set("adopted", True)
+                else:
+                    obs.add("parallel_dependent")
+                    module_span.set("dependent", True)
+
+        if partition is None and cause is None:
+            try:
+                partition = partition_sat(
+                    graph, output, input_set, assignment, limits=limits,
+                    max_signals=max_signals,
+                    name_start=assignment.num_signals,
+                    signal_prefix=signal_prefix, engine=engine,
+                    budget=budget, fallback=fallback, cache=cache,
+                )
+            except CscError as exc:
+                cause = exc
+            else:
+                if (cacheable and rkey is not None
+                        and _reusable(input_set, basis.get(output),
+                                      assignment)):
+                    rcache.put(
+                        "module", rkey,
+                        _detached_for_cache(partition, signal_prefix),
+                    )
+
+        if cause is not None:
             if not degrade:
-                raise
+                raise cause
             assignment = _degrade_module(
-                graph, output, assignment, report, exc,
+                graph, output, assignment, report, cause,
                 limits=limits, max_signals=max_signals,
                 signal_prefix=signal_prefix, engine=engine, budget=budget,
                 fallback=fallback,

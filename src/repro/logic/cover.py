@@ -34,6 +34,11 @@ class Cube:
     def __setattr__(self, name, value):
         raise AttributeError("Cube is immutable")
 
+    def __reduce__(self):
+        # Immutability blocks pickle's default slot restore; rebuild
+        # through the constructor instead.
+        return (Cube, (self.positions,))
+
     @classmethod
     def parse(cls, text):
         """Parse ``"1-0"`` style positional notation."""

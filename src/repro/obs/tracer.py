@@ -142,6 +142,9 @@ class Tracer:
         self._next_id = 1
         #: ``{span_name: SpanStats}`` folded as spans close.
         self.stats = {}
+        #: Worker journal segments queued by :meth:`absorb`, appended to
+        #: the sink after this tracer's own (self-contained) segment.
+        self._segments = []
         self._sink = None
         self._owns_sink = False
         if journal is not None:
@@ -237,11 +240,37 @@ class Tracer:
         """JSON-ready profile snapshot (for ``BENCH_*.json``)."""
         return stats_as_dict(self.stats)
 
+    def absorb(self, stats=None, journal=None):
+        """Fold a worker process's trace into this tracer.
+
+        ``stats`` is the worker's :meth:`stats_dict` snapshot, merged
+        name-wise into this profile (the bench runner's
+        :func:`~repro.obs.profile.merge_stats` semantics).  ``journal``
+        is the worker's complete JSONL journal text; it is queued and
+        appended to the sink by :meth:`close`, *after* this tracer's own
+        events, so the file stays a valid concatenation of
+        self-contained segments (see :mod:`repro.obs.journal`).
+        """
+        for name, data in (stats or {}).items():
+            entry = SpanStats.from_dict(name, data)
+            existing = self.stats.get(name)
+            if existing is None:
+                self.stats[name] = entry
+            else:
+                existing.merge(entry)
+        if journal:
+            self._segments.append(journal)
+
     def close(self):
         """Close any spans left open (crash path), then the journal."""
         while self._stack:
             self._end(self._stack[-1])
         if self._sink is not None:
+            for segment in self._segments:
+                self._sink.write(segment)
+                if not segment.endswith("\n"):
+                    self._sink.write("\n")
+            self._segments = []
             self._sink.flush()
             if self._owns_sink:
                 self._sink.close()

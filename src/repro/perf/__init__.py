@@ -20,5 +20,18 @@ projection is ever derived twice.  See ``docs/performance.md``.
 """
 
 from repro.perf.projection import DEFAULT_CACHE_SIZE, ProjectionCache
+from repro.perf.result_cache import (
+    CACHE_SALT,
+    ResultCache,
+    graph_fingerprint,
+    options_fingerprint,
+)
 
-__all__ = ["DEFAULT_CACHE_SIZE", "ProjectionCache"]
+__all__ = [
+    "CACHE_SALT",
+    "DEFAULT_CACHE_SIZE",
+    "ProjectionCache",
+    "ResultCache",
+    "graph_fingerprint",
+    "options_fingerprint",
+]

@@ -1,0 +1,199 @@
+"""Persistent, content-addressed cache of synthesis results.
+
+A :class:`ResultCache` is an on-disk store keyed by content, not by file
+path or mtime: the key of every record is a SHA-256 over
+
+* the **canonical** ``.g`` text of the input STG
+  (:func:`repro.stg.canonical.g_fingerprint`), or a structural
+  fingerprint of the state graph when synthesis was handed a prebuilt
+  :class:`~repro.stategraph.graph.StateGraph`;
+* an **options fingerprint** -- every
+  :class:`~repro.runtime.options.SynthesisOptions` field that can change
+  the result (``budget``, ``jobs`` and ``cache_dir`` are deliberately
+  excluded: they change *how fast* a result is produced, never *what*
+  is produced -- that is the determinism contract of
+  ``docs/parallelism.md``);
+* a **code version salt** (:data:`CACHE_SALT`), bumped whenever solver
+  or propagation logic changes meaning, so stale caches self-invalidate
+  instead of replaying results of old code.
+
+Two record kinds share one store:
+
+``module``
+    One output's :class:`~repro.csc.modular.PartitionResult`, solved
+    against the *empty* assignment (the only assignment state that is a
+    pure function of the input).  Keyed additionally by the output name.
+``artifact``
+    A whole :class:`~repro.csc.synthesis.ModularResult` (minus the
+    state graphs, which are reattached on load), keyed by method name.
+    A warm hit skips the entire run and reproduces byte-identical CLI
+    output, including the recorded wall-clock time of the original run.
+
+Records are pickled ``{"salt": ..., "payload": ...}`` envelopes written
+atomically (temp file + :func:`os.replace`), so a crashed or concurrent
+writer can never leave a half-written record that later reads as valid.
+A record that fails to unpickle or carries a different salt is *stale*:
+it is deleted and counted, and the lookup proceeds as a miss.
+
+Counters mirrored into :mod:`repro.obs`: ``result_cache_hits``,
+``result_cache_misses``, ``result_cache_stale``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+from repro import obs
+
+#: Version salt baked into every record.  Bump when a change to solver,
+#: propagation, repair or minimisation logic makes previously cached
+#: results meaningless.
+CACHE_SALT = "repro-result-cache/1"
+
+#: SynthesisOptions fields that parameterise *what* is computed.  The
+#: excluded fields (``budget``, ``jobs``, ``cache_dir``) only change how
+#: the computation is scheduled.
+_FINGERPRINT_FIELDS = (
+    "minimize", "max_signals", "output_order", "signal_prefix",
+    "engine", "polish", "fallback", "degrade",
+)
+
+
+def options_fingerprint(opts, method="modular"):
+    """A deterministic text form of the result-relevant options.
+
+    Limits are spelled out field by field (``Limits`` has no stable
+    ``repr``); every other relevant field reprs deterministically.
+    """
+    parts = [f"method={method}"]
+    limits = opts.limits
+    if limits is None:
+        parts.append("limits=None")
+    else:
+        parts.append(
+            f"limits=({limits.max_backtracks!r},{limits.max_seconds!r})"
+        )
+    for name in _FINGERPRINT_FIELDS:
+        parts.append(f"{name}={getattr(opts, name)!r}")
+    return ";".join(parts)
+
+
+def graph_fingerprint(graph):
+    """Structural SHA-256 of a prebuilt state graph.
+
+    Hashes behaviour, not representation: state ids are replaced by
+    their codes, edges are sorted, so two constructions of the same
+    graph fingerprint equal.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(graph.signals)).encode())
+    digest.update(repr(tuple(sorted(graph.non_inputs))).encode())
+    digest.update(repr(tuple(sorted(graph.codes))).encode())
+    digest.update(repr(graph.codes[graph.initial]).encode())
+    digest.update(
+        repr(
+            tuple(
+                sorted(
+                    (graph.codes[s], label, graph.codes[t])
+                    for s, label, t in graph.edges
+                )
+            )
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """On-disk content-addressed store of synthesis results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) when missing.
+    salt:
+        Code version salt; records carrying any other salt are stale.
+    """
+
+    def __init__(self, root, salt=CACHE_SALT):
+        self.root = os.fspath(root)
+        self.salt = salt
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.stores = 0
+
+    @staticmethod
+    def key(*parts):
+        """SHA-256 over the joined key components."""
+        joined = "\x1f".join(str(part) for part in parts)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def _path(self, kind, key):
+        return os.path.join(self.root, kind, key[:2], key + ".pkl")
+
+    def get(self, kind, key):
+        """The cached payload, or ``None`` on miss or stale record."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            if not isinstance(record, dict) or "payload" not in record:
+                raise ValueError("malformed cache record")
+            if record.get("salt") != self.salt:
+                raise ValueError("cache salt mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            obs.add("result_cache_misses")
+            return None
+        except Exception:
+            # Unreadable, truncated, unpicklable, or written by another
+            # code version: self-heal by dropping the record.
+            self.stale += 1
+            obs.add("result_cache_stale")
+            self.misses += 1
+            obs.add("result_cache_misses")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        obs.add("result_cache_hits")
+        return record["payload"]
+
+    def put(self, kind, key, payload):
+        """Store ``payload`` atomically under ``(kind, key)``.
+
+        A failed pickle (payload holds an unpicklable object) is
+        swallowed: caching is an optimisation, never a correctness
+        dependency.
+        """
+        path = self._path(kind, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        record = {"salt": self.salt, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        obs.add("result_cache_stores")
+        return True
+
+    def __repr__(self):
+        return (
+            f"ResultCache({self.root!r}, hits={self.hits}, "
+            f"misses={self.misses}, stale={self.stale})"
+        )

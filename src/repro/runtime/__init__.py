@@ -22,7 +22,7 @@ them back.  :func:`run_synthesis` is therefore loaded lazily (PEP 562).
 """
 
 from repro.errors import ReproError
-from repro.runtime.budget import Budget, BudgetExhaustedError
+from repro.runtime.budget import Budget, BudgetExhaustedError, BudgetSlice
 from repro.runtime.options import OPTION_FIELDS, SynthesisOptions, coerce_options
 from repro.runtime.report import (
     EXIT_CODES,
@@ -41,6 +41,7 @@ from repro.runtime import faults
 __all__ = [
     "Budget",
     "BudgetExhaustedError",
+    "BudgetSlice",
     "EXIT_CODES",
     "OPTION_FIELDS",
     "SynthesisOptions",

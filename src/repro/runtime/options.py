@@ -64,9 +64,16 @@ class SynthesisOptions:
         Modular method only: degrade failed per-output passes to direct
         sub-solves instead of aborting the run.
     jobs:
-        Parallel worker processes for batch drivers (the Table-1 bench
-        runner); the synthesis methods themselves are single-process
-        and ignore it.
+        Parallel worker processes.  Batch drivers (the Table-1 bench
+        runner) spread whole benchmarks over this many processes;
+        :func:`~repro.csc.synthesis.modular_synthesis` additionally
+        dispatches independent per-output module solves to a worker
+        pool when ``jobs > 1``.  Results are bit-identical to the
+        serial ``jobs=1`` run (see ``docs/parallelism.md``).
+    cache_dir:
+        Directory of the persistent
+        :class:`~repro.perf.result_cache.ResultCache`.  ``None`` (the
+        default) disables cross-run caching.
     """
 
     limits: object = None
@@ -80,6 +87,7 @@ class SynthesisOptions:
     fallback: bool = False
     degrade: bool = False
     jobs: int = 1
+    cache_dir: object = None
 
     def __post_init__(self):
         if self.output_order is not None:

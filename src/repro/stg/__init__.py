@@ -22,6 +22,7 @@ from repro.stg.model import (
 )
 from repro.stg.parse import parse_g, parse_g_file
 from repro.stg.write import write_g
+from repro.stg.canonical import canonical_g, g_fingerprint
 from repro.stg.validate import validate_stg
 from repro.stg.transform import hide_signals, mirror_signals, rename_signals
 
@@ -35,6 +36,8 @@ __all__ = [
     "StgError",
     "StgValidationError",
     "TransitionLabel",
+    "canonical_g",
+    "g_fingerprint",
     "hide_signals",
     "mirror_signals",
     "parse_g",

@@ -1,0 +1,123 @@
+"""Canonical ``.g`` serialisation for content-addressed caching.
+
+Two ``.g`` files that describe the same signal transition graph can
+differ in ways that change no behaviour: explicit places carry arbitrary
+names, a single-fanin/fanout place between two transitions can be spelt
+either as a named place or as a direct arc, sections and marking entries
+can be listed in any order, and whitespace is free.  The persistent
+:class:`~repro.perf.result_cache.ResultCache` keys on file *content*, so
+all of those spellings must hash equal.
+
+:func:`canonical_g` produces the normal form:
+
+* signal declarations are sorted;
+* every explicit place with one fanin, one fanout and at most one token
+  is collapsed to a direct transition-to-transition arc (the implicit
+  ``<a,b>`` form), exactly as the writer does for bracket-named places;
+* the remaining explicit places are renamed ``p0, p1, ...`` in the order
+  of their structural signature (sorted preset, sorted postset, token
+  count), so the original names never reach the output;
+* graph lines, their targets and the marking entries are sorted (the
+  writer's own normalisation).
+
+The result is a fixed point: ``canonical_g(parse_g(canonical_g(stg)))``
+returns the same text.  :func:`g_fingerprint` is the SHA-256 of that
+text -- the "canonicalized ``.g``" component of every cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.petrinet.builder import implicit_place_name
+from repro.petrinet.net import PetriNet
+from repro.stg.model import SignalTransitionGraph
+from repro.stg.write import write_g
+
+
+def canonical_g(stg):
+    """The canonical ``.g`` serialisation of an STG.
+
+    Returns text equal for every ``.g`` spelling of the same net: place
+    names are structural, marking entries and sections are sorted.
+    """
+    return write_g(_normalised(stg))
+
+
+def g_fingerprint(stg_or_text):
+    """SHA-256 hex digest of the canonical ``.g`` form.
+
+    Accepts a :class:`~repro.stg.model.SignalTransitionGraph` or raw
+    ``.g`` source text (which is parsed first, so two texts with
+    different place names hash equal).
+    """
+    if isinstance(stg_or_text, str):
+        from repro.stg.parse import parse_g
+
+        stg_or_text = parse_g(stg_or_text)
+    text = canonical_g(stg_or_text)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _normalised(stg):
+    """A copy of ``stg`` with structurally canonical place names."""
+    net = stg.net
+    marking = dict(net.initial_marking.items())
+    rename = {}
+    collapsible = []
+    explicit = []
+    for place in net.places:
+        pre = sorted(net.place_preset(place))
+        post = sorted(net.place_postset(place))
+        if len(pre) == 1 and len(post) == 1 and marking.get(place, 0) <= 1:
+            collapsible.append((place, pre[0], post[0]))
+        else:
+            explicit.append((place, pre, post))
+
+    taken = set()
+    for place, source, target in sorted(
+        collapsible, key=lambda entry: (entry[1], entry[2])
+    ):
+        name = implicit_place_name(source, target)
+        if name in taken:
+            # A parallel redundant place on an arc that already has an
+            # implicit one: keep it explicit so both survive.
+            explicit.append(
+                (place, [source], [target])
+            )
+            continue
+        taken.add(name)
+        rename[place] = name
+
+    # Remaining explicit places: rename by structural signature.  Places
+    # sharing a signature are interchangeable, so any fixed assignment
+    # among them yields the same serialisation.
+    def signature(entry):
+        place, pre, post = entry
+        return (pre, post, marking.get(place, 0))
+
+    for index, (place, _pre, _post) in enumerate(
+        sorted(explicit, key=signature)
+    ):
+        name = f"p{index}"
+        while name in net.transitions or name in taken:
+            name += "_"  # deterministic: depends only on net content
+        taken.add(name)
+        rename[place] = name
+
+    places = {rename[p] for p in net.places}
+    arcs = []
+    for source, target in net.arcs():
+        arcs.append((
+            rename.get(source, source), rename.get(target, target),
+        ))
+    new_marking = {
+        rename[place]: count for place, count in marking.items()
+    }
+    new_net = PetriNet(places, set(net.transitions), arcs, new_marking)
+    return SignalTransitionGraph(
+        new_net,
+        {s: stg.signal_type(s) for s in stg.signals},
+        stg.labels(),
+        name=stg.name,
+    )

@@ -230,7 +230,19 @@ def _marking_entry(token, lineno):
     Supports ``p``, ``p=2``, and ``<a+,b->`` implicit-place syntax.
     """
     count = 1
-    if "=" in token and not token.startswith("<"):
+    if token.startswith("<"):
+        # The count suffix sits after the closing bracket: ``<a,b>=2``.
+        head, bracket, tail = token.rpartition(">")
+        if bracket and tail.startswith("="):
+            token = head + bracket
+            tail = tail[1:]
+            try:
+                count = int(tail)
+            except ValueError:
+                raise GFormatError(
+                    f"bad token count in marking entry {token!r}", lineno
+                ) from None
+    elif "=" in token:
         token, _eq, count_text = token.partition("=")
         try:
             count = int(count_text)

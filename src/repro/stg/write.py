@@ -59,7 +59,7 @@ def write_g(stg):
     entries = []
     for place, count in stg.net.initial_marking.items():
         token = place  # implicit places are already "<source,target>"
-        if count != 1 and not _is_implicit(net, place):
+        if count != 1:
             token = f"{token}={count}"
         entries.append(token)
     lines.append(".marking { " + " ".join(sorted(entries)) + " }")

@@ -1,0 +1,122 @@
+"""Parallel per-module synthesis: determinism, faults, and budgets.
+
+The determinism contract (``docs/parallelism.md``): ``jobs`` changes how
+fast a result is produced, never what is produced.  A ``jobs=N`` run
+must be indistinguishable from the serial run -- same inserted-signal
+names and values, same covers, same per-module report -- and an injected
+worker failure must degrade exactly the faulted module, like serial.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bench import load_benchmark
+from repro.csc import modular_synthesis
+from repro.csc.errors import SynthesisError
+from repro.runtime import faults
+from repro.runtime.options import SynthesisOptions
+from repro.stategraph import build_state_graph, csc_conflicts
+from repro.stg import parse_g
+
+from tests.example_stgs import CSC_CONFLICT
+from tests.test_fuzz_synthesis import _well_formed, controller
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def observable(result):
+    """Everything the determinism contract promises to fix."""
+    return {
+        "names": result.assignment.names,
+        "values": result.assignment.values,
+        "covers": {s: str(c) for s, c in sorted(result.covers.items())},
+        "final_states": result.final_states,
+        "final_signals": result.final_signals,
+        "literals": result.literals,
+        "modules": [
+            (m.output, m.status, m.detail) for m in result.report.modules
+        ],
+        "status": result.report.status,
+    }
+
+
+@pytest.mark.parametrize("name", ["alloc-outbound", "sbuf-read-ctl"])
+def test_jobs_identical_to_serial(name):
+    graph = build_state_graph(load_benchmark(name))
+    serial = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    parallel = modular_synthesis(
+        graph, options=SynthesisOptions(minimize=True, jobs=4)
+    )
+    assert observable(serial) == observable(parallel)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(controller())
+def test_fuzzed_jobs_identical_to_serial(text):
+    stg = _well_formed(text)
+    if stg is None:
+        return
+    graph = build_state_graph(stg)
+    serial = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    parallel = modular_synthesis(
+        graph, options=SynthesisOptions(minimize=True, jobs=2)
+    )
+    assert observable(serial) == observable(parallel)
+    assert csc_conflicts(parallel.expanded) == []
+
+
+def test_worker_fault_degrades_only_that_module():
+    # The fault registry is consulted in the parent at dispatch time, so
+    # an injected module-solve failure hits the parallel path exactly
+    # like the serial one: the faulted output degrades, the rest are ok.
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    with faults.injected("module-solve", match=lambda output: output == "c"):
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(jobs=2, degrade=True)
+        )
+    assert result.report.module("c").status == "degraded"
+    for module in result.report.modules:
+        if module.output != "c":
+            assert module.status == "ok"
+    assert csc_conflicts(result.expanded) == []
+
+
+def test_worker_fault_matches_serial_degradation():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    with faults.injected(
+        "module-solve", times=None, match=lambda output: output == "c"
+    ):
+        serial = modular_synthesis(
+            graph, options=SynthesisOptions(degrade=True)
+        )
+        parallel = modular_synthesis(
+            graph, options=SynthesisOptions(jobs=2, degrade=True)
+        )
+    assert observable(serial) == observable(parallel)
+
+
+def test_worker_fault_without_degrade_raises():
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    with faults.injected("module-solve"):
+        with pytest.raises(SynthesisError):
+            modular_synthesis(graph, options=SynthesisOptions(jobs=2))
+
+
+def test_jobs_with_stg_input_identical():
+    # The STG (rather than prebuilt graph) entry point takes the same
+    # parallel path.
+    stg = parse_g(CSC_CONFLICT)
+    serial = modular_synthesis(stg, options=SynthesisOptions(minimize=True))
+    parallel = modular_synthesis(
+        stg, options=SynthesisOptions(minimize=True, jobs=3)
+    )
+    assert observable(serial) == observable(parallel)

@@ -172,3 +172,64 @@ def test_stopwatch_exceeded_none_means_unlimited():
     watch = Stopwatch(clock=FakeClock(step=100.0))
     assert not watch.exceeded(None)
     assert watch.exceeded(50.0)
+
+
+# -- absorbing worker traces (Tracer.absorb) --------------------------------
+
+
+def test_absorb_merges_worker_stats():
+    worker = Tracer(clock=FakeClock())
+    with worker.span("module"):
+        worker.add("decisions", 5)
+    parent = Tracer(clock=FakeClock())
+    with parent.span("module"):
+        parent.add("decisions", 2)
+    parent.absorb(worker.stats_dict())
+    assert parent.stats["module"].count == 2
+    assert parent.counter_totals()["decisions"] == 7
+
+
+def test_absorb_into_empty_profile():
+    worker = Tracer(clock=FakeClock())
+    with worker.span("solve"):
+        pass
+    parent = Tracer(clock=FakeClock())
+    parent.absorb(worker.stats_dict())
+    assert parent.stats["solve"].count == 1
+
+
+def test_absorbed_journal_appends_as_valid_segment():
+    from repro.obs.journal import read_events, split_segments, validate_events
+
+    worker_sink = io.StringIO()
+    worker = Tracer(journal=worker_sink, clock=FakeClock())
+    with worker.span("module"):
+        pass
+    worker.close()
+
+    parent_sink = io.StringIO()
+    parent = Tracer(journal=parent_sink, clock=FakeClock())
+    with parent.span("run"):
+        # Absorbed mid-run: the segment must not interleave with the
+        # parent's own (still open) spans.
+        parent.absorb(worker.stats_dict(), worker_sink.getvalue())
+    parent.close()
+
+    events = read_events(io.StringIO(parent_sink.getvalue()))
+    assert validate_events(events) == []
+    segments = split_segments(events)
+    assert len(segments) == 2
+    assert any(e.get("name") == "run" for e in segments[0][1])
+    assert any(e.get("name") == "module" for e in segments[1][1])
+
+
+def test_absorb_without_sink_discards_journal_text():
+    worker_sink = io.StringIO()
+    worker = Tracer(journal=worker_sink, clock=FakeClock())
+    with worker.span("module"):
+        pass
+    worker.close()
+    parent = Tracer(clock=FakeClock())  # no journal
+    parent.absorb(worker.stats_dict(), worker_sink.getvalue())
+    parent.close()  # must not raise
+    assert parent.stats["module"].count == 1

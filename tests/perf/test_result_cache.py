@@ -1,0 +1,217 @@
+"""The persistent result cache: store semantics and synthesis wiring.
+
+Two layers under test.  The store itself (:class:`repro.perf.ResultCache`)
+must be atomic, self-healing on stale or corrupt records, and honest in
+its counters.  The synthesis wiring must make a warm run reproduce the
+cold run exactly -- including the recorded wall-clock seconds, which is
+what makes warm CLI output byte-identical -- and must refuse to serve or
+store results across a change of result-relevant options or code salt.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.bench import load_benchmark
+from repro.csc import modular_synthesis
+from repro.perf import (
+    CACHE_SALT,
+    ResultCache,
+    graph_fingerprint,
+    options_fingerprint,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.options import SynthesisOptions
+from repro.stategraph import build_state_graph
+from repro.stg import parse_g
+
+from tests.example_stgs import ALL, CSC_CONFLICT
+
+
+# -- the store itself -------------------------------------------------------
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("a", "b")
+    assert cache.get("module", key) is None
+    assert cache.put("module", key, {"answer": 42})
+    assert cache.get("module", key) == {"answer": 42}
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+
+def test_kinds_are_separate_namespaces(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("shared")
+    cache.put("module", key, "m")
+    assert cache.get("artifact", key) is None
+    assert cache.get("module", key) == "m"
+
+
+def test_key_is_order_sensitive():
+    assert ResultCache.key("a", "b") != ResultCache.key("b", "a")
+    assert ResultCache.key("ab") != ResultCache.key("a", "b")
+
+
+def test_corrupt_record_is_stale_then_healed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    path = cache._path("module", key)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    assert cache.get("module", key) is None
+    assert cache.stale == 1
+    assert not os.path.exists(path)  # self-healed
+    # ... and the next lookup is a clean miss, not another stale.
+    assert cache.get("module", key) is None
+    assert cache.stale == 1
+    assert cache.misses == 2
+
+
+def test_salt_mismatch_is_stale(tmp_path):
+    old = ResultCache(tmp_path, salt="repro-result-cache/0")
+    key = ResultCache.key("x")
+    old.put("module", key, "obsolete")
+    fresh = ResultCache(tmp_path)
+    assert fresh.get("module", key) is None
+    assert fresh.stale == 1
+    assert CACHE_SALT != "repro-result-cache/0"
+
+
+def test_envelope_without_payload_is_stale(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    path = cache._path("module", key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump({"salt": CACHE_SALT}, handle)
+    assert cache.get("module", key) is None
+    assert cache.stale == 1
+
+
+def test_unpicklable_payload_is_swallowed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    assert not cache.put("module", key, lambda: None)
+    assert cache.stores == 0
+    # No half-written record (the temp file was cleaned up too).
+    assert cache.get("module", key) is None
+    leftovers = [
+        name
+        for _, _, files in os.walk(tmp_path)
+        for name in files
+        if name.endswith(".tmp")
+    ]
+    assert leftovers == []
+
+
+# -- fingerprints -----------------------------------------------------------
+
+def test_options_fingerprint_ignores_scheduling_fields(tmp_path):
+    base = options_fingerprint(SynthesisOptions(minimize=True))
+    assert base == options_fingerprint(SynthesisOptions(
+        minimize=True, jobs=4, cache_dir=str(tmp_path),
+        budget=Budget(max_seconds=100),
+    ))
+
+
+def test_options_fingerprint_tracks_result_fields():
+    base = options_fingerprint(SynthesisOptions(minimize=True))
+    assert base != options_fingerprint(SynthesisOptions(minimize=False))
+    assert base != options_fingerprint(SynthesisOptions(
+        minimize=True, engine="bdd"
+    ))
+    assert base != options_fingerprint(
+        SynthesisOptions(minimize=True), method="direct"
+    )
+
+
+def test_graph_fingerprint_is_structural():
+    stg = parse_g(CSC_CONFLICT)
+    one = graph_fingerprint(build_state_graph(stg))
+    two = graph_fingerprint(build_state_graph(parse_g(CSC_CONFLICT)))
+    assert one == two
+    other = graph_fingerprint(build_state_graph(parse_g(ALL["handshake"])))
+    assert one != other
+
+
+# -- synthesis wiring -------------------------------------------------------
+
+def _observable(result):
+    return {
+        "names": result.assignment.names,
+        "values": result.assignment.values,
+        "covers": {s: str(c) for s, c in sorted(result.covers.items())},
+        "final_states": result.final_states,
+        "final_signals": result.final_signals,
+        "literals": result.literals,
+        "modules": [
+            (m.output, m.status, m.detail) for m in result.report.modules
+        ],
+        "seconds": result.seconds,
+    }
+
+
+def test_warm_run_reproduces_cold_run(tmp_path):
+    graph = build_state_graph(load_benchmark("alloc-outbound"))
+    options = SynthesisOptions(minimize=True, cache_dir=str(tmp_path))
+    cold = modular_synthesis(graph, options=options)
+    warm = modular_synthesis(graph, options=options)
+    # Identical to the ``seconds`` field: the artifact stores the cold
+    # run's timing, which is what keeps warm CLI stdout byte-identical.
+    assert _observable(cold) == _observable(warm)
+
+
+def test_warm_run_from_stg_input(tmp_path):
+    stg = parse_g(CSC_CONFLICT)
+    options = SynthesisOptions(minimize=True, cache_dir=str(tmp_path))
+    cold = modular_synthesis(stg, options=options)
+    warm = modular_synthesis(stg, options=options)
+    assert _observable(cold) == _observable(warm)
+
+
+def test_cache_matches_uncached_run(tmp_path):
+    graph = build_state_graph(load_benchmark("sbuf-read-ctl"))
+    plain = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    options = SynthesisOptions(minimize=True, cache_dir=str(tmp_path))
+    modular_synthesis(graph, options=options)
+    warm = modular_synthesis(graph, options=options)
+    observed = _observable(warm)
+    observed.pop("seconds")
+    expected = _observable(plain)
+    expected.pop("seconds")
+    assert observed == expected
+
+
+def test_different_options_do_not_share_entries(tmp_path):
+    stg = parse_g(CSC_CONFLICT)
+    hybrid = SynthesisOptions(
+        minimize=True, cache_dir=str(tmp_path), engine="hybrid"
+    )
+    bdd = SynthesisOptions(
+        minimize=True, cache_dir=str(tmp_path), engine="bdd"
+    )
+    modular_synthesis(stg, options=hybrid)
+    result = modular_synthesis(stg, options=bdd)
+    # A fresh engine=bdd run against the hybrid-primed cache must not
+    # have adopted the hybrid artifact: its seconds are its own.
+    rerun = modular_synthesis(stg, options=bdd)
+    assert _observable(result) == _observable(rerun)
+
+
+def test_timed_budget_runs_are_not_stored(tmp_path):
+    stg = parse_g(CSC_CONFLICT)
+
+    def run(budget):
+        return modular_synthesis(stg, options=SynthesisOptions(
+            minimize=True, cache_dir=str(tmp_path), budget=budget,
+        ))
+
+    run(Budget(max_seconds=3600))
+    stored = sum(len(files) for _, _, files in os.walk(tmp_path))
+    assert stored == 0  # a timed run may have clipped sub-limits
+    # A state-cap-only budget is safe to cache (the CLI default).
+    run(Budget(max_states=10_000))
+    stored = sum(len(files) for _, _, files in os.walk(tmp_path))
+    assert stored > 0

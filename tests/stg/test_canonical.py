@@ -1,0 +1,198 @@
+"""Property tests for the canonical ``.g`` form used by the result cache.
+
+The cache keys on :func:`repro.stg.canonical.g_fingerprint`, so the
+invariants here are load-bearing: two spellings of the same net must
+hash equal, and behaviourally different nets must (in practice) hash
+differently.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.petrinet.net import PetriNet
+from repro.stategraph import build_state_graph
+from repro.stg import parse_g, write_g
+from repro.stg.canonical import canonical_g, g_fingerprint
+from repro.stg.model import SignalTransitionGraph
+
+from tests.example_stgs import ALL
+
+
+def _rename_places(stg, mapper):
+    """A copy of ``stg`` with every place renamed through ``mapper``."""
+    net = stg.net
+    rename = {p: mapper(p) for p in net.places}
+    assert len(set(rename.values())) == len(rename)
+    places = set(rename.values())
+    arcs = [
+        (rename.get(src, src), rename.get(dst, dst))
+        for src, dst in net.arcs()
+    ]
+    marking = {
+        rename[place]: count
+        for place, count in net.initial_marking.items()
+    }
+    return SignalTransitionGraph(
+        PetriNet(places, set(net.transitions), arcs, marking),
+        {s: stg.signal_type(s) for s in stg.signals},
+        stg.labels(),
+        name=stg.name,
+    )
+
+
+def test_canonical_fixed_point():
+    for text in ALL.values():
+        stg = parse_g(text)
+        once = canonical_g(stg)
+        twice = canonical_g(parse_g(once))
+        assert once == twice
+
+
+def test_fingerprint_ignores_place_names():
+    for text in ALL.values():
+        stg = parse_g(text)
+        renamed = _rename_places(stg, lambda p: f"weird_{p}_name")
+        assert g_fingerprint(renamed) == g_fingerprint(stg)
+
+
+def test_fingerprint_ignores_implicit_vs_explicit_spelling():
+    # An explicit single-fanin/fanout place and a direct arc describe
+    # the same net; both spellings must hash equal.
+    explicit = """
+.model spell
+.inputs a
+.outputs b
+.graph
+a+ mid
+mid b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+    implicit = """
+.model spell
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+"""
+    assert g_fingerprint(explicit) == g_fingerprint(implicit)
+
+
+def test_fingerprint_ignores_marking_and_line_order():
+    base = """
+.model order
+.inputs a
+.outputs x y
+.graph
+a+ x+ y+
+x+ a-
+y+ a-
+a- x-
+x- y-
+y- a+
+.marking { <y-,a+> }
+.end
+"""
+    shuffled = """
+.model order
+.inputs a
+.outputs x y
+.graph
+y- a+
+a- x-
+x+ a-
+a+ y+ x+
+y+ a-
+x- y-
+.marking {  <y-,a+>  }
+.end
+"""
+    assert g_fingerprint(base) == g_fingerprint(shuffled)
+
+
+def test_fingerprint_distinguishes_different_nets():
+    prints = {g_fingerprint(text) for text in ALL.values()}
+    assert len(prints) == len(ALL)
+
+
+def test_marking_count_roundtrip_on_implicit_place():
+    text = """
+.model counted
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+>=2 }
+.end
+"""
+    stg = parse_g(text)
+    written = write_g(stg)
+    assert "<b-,a+>=2" in written
+    reparsed = parse_g(written)
+    assert dict(reparsed.net.initial_marking.items()) == dict(
+        stg.net.initial_marking.items()
+    )
+    assert g_fingerprint(reparsed) == g_fingerprint(stg)
+
+
+def test_marking_count_roundtrip_on_explicit_place():
+    text = """
+.model counted2
+.inputs a
+.outputs b
+.graph
+a+ pool
+pool b+
+b+ pool2
+pool2 a-
+a- b-
+b- a+
+pool a-
+.marking { pool=2 <b-,a+> }
+.end
+"""
+    stg = parse_g(text)
+    reparsed = parse_g(write_g(stg))
+    marking = dict(reparsed.net.initial_marking.items())
+    assert 2 in marking.values()
+    assert g_fingerprint(reparsed) == g_fingerprint(stg)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.randoms(use_true_random=False))
+def test_random_renames_hash_equal(rng):
+    for text in ALL.values():
+        stg = parse_g(text)
+        tags = list(range(len(stg.net.places)))
+        rng.shuffle(tags)
+        tag_of = dict(zip(sorted(stg.net.places), tags))
+        renamed = _rename_places(stg, lambda p: f"q{tag_of[p]}")
+        assert g_fingerprint(renamed) == g_fingerprint(stg)
+        assert canonical_g(renamed) == canonical_g(stg)
+
+
+def test_canonical_preserves_behaviour():
+    for text in ALL.values():
+        stg = parse_g(text)
+        canon = parse_g(canonical_g(stg))
+        original = build_state_graph(stg)
+        rebuilt = build_state_graph(canon)
+        assert sorted(rebuilt.codes) == sorted(original.codes)
+        assert sorted(
+            (rebuilt.codes[s], label, rebuilt.codes[t])
+            for s, label, t in rebuilt.edges
+        ) == sorted(
+            (original.codes[s], label, original.codes[t])
+            for s, label, t in original.edges
+        )

@@ -129,3 +129,55 @@ def test_max_states_budget_is_exit_3(spec, capsys):
 def test_timeout_large_enough_still_succeeds(spec, capsys):
     assert main([spec, "--timeout", "60", "--quiet"]) == 0
     assert "conformance verified" in capsys.readouterr().out
+
+
+# -- parallel workers and the result cache -------------------------------
+
+def test_parallel_run_matches_serial_output(spec, capsys):
+    import re
+
+    def normalised(text):
+        # Both runs report their own wall clock; everything else --
+        # equations, signal counts, status -- must match exactly.
+        return re.sub(r"\d+\.\d+s", "_s", text)
+
+    assert main([spec]) == 0
+    serial = capsys.readouterr().out
+    assert main([spec, "--jobs", "2"]) == 0
+    assert normalised(capsys.readouterr().out) == normalised(serial)
+
+
+def test_parallel_timeout_is_exit_3_like_serial(spec, capsys):
+    # N workers share the parent's absolute deadline (Budget.split), so
+    # a parallel run under a blown budget exits 3 exactly like serial.
+    assert main([spec, "--jobs", "2", "--timeout", "0", "--quiet"]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("timeout:")
+
+
+def test_parallel_degraded_run_is_exit_2(spec, capsys):
+    with faults.injected("module-solve"):
+        code = main([spec, "--jobs", "2", "--quiet"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "conformance verified" in captured.out
+    assert "degraded" in captured.err
+
+
+def test_warm_cache_run_is_byte_identical(spec, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main([spec, "--cache-dir", cache]) == 0
+    cold = capsys.readouterr().out
+    assert main([spec, "--cache-dir", cache]) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold  # includes the recorded seconds
+
+
+def test_no_cache_ignores_cache_dir(spec, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    import os
+
+    assert main(
+        [spec, "--cache-dir", cache, "--no-cache", "--quiet"]
+    ) == 0
+    assert not os.path.exists(cache)

@@ -1,0 +1,257 @@
+"""Measure and record modular synthesis' parallel / warm-cache speedups.
+
+Usage::
+
+    python tools/bench_parallel.py [--names A,B,...] [--jobs N]
+                                   [--repeat N] [--out-dir DIR]
+    python tools/bench_parallel.py --check BENCH_parallel_modular.json
+
+Times three configurations of :func:`repro.csc.synthesis.modular_synthesis`
+over a benchmark set -- serial cold (``jobs=1``, no cache), parallel cold
+(``jobs=N``, no cache) and warm (second pass over a freshly primed
+:class:`repro.perf.ResultCache`) -- verifies all three produce identical
+results, and writes ``BENCH_parallel_modular.json``
+(schema ``repro-parallel-bench/1``)::
+
+    {
+      "schema": "repro-parallel-bench/1",
+      "cores": int,                  # os.cpu_count() where measured
+      "jobs": int,                   # worker count of the parallel pass
+      "repeat": int,                 # timing passes (best-of)
+      "benchmarks": [str, ...],
+      "serial_seconds": number,
+      "parallel_seconds": number,
+      "warm_seconds": number,
+      "parallel_speedup": number,    # serial / parallel
+      "warm_cache_speedup": number,  # serial / warm
+      "identical": bool              # parallel and warm match serial
+    }
+
+``--check`` validates an existing artifact instead: structural schema
+plus the thresholds the repository commits to -- results identical,
+``warm_cache_speedup >= 5``, and ``parallel_speedup >= 1.5`` *when the
+recording machine had at least 2 cores* (a single-core box cannot
+demonstrate process-level parallelism, so the artifact records the
+honest number and the core count that explains it).
+
+Run with ``src`` on ``PYTHONPATH`` (the script bootstraps it when
+invoked from a checkout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
+
+SCHEMA = "repro-parallel-bench/1"
+DEFAULT_NAMES = (
+    "alloc-outbound", "nak-pa", "sbuf-read-ctl", "vbe-ex2",
+    "mmu0", "pe-rcv-ifc-fc", "atod", "mr1",
+)
+
+WARM_SPEEDUP_FLOOR = 5.0
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
+_NUMBER_FIELDS = (
+    "serial_seconds", "parallel_seconds", "warm_seconds",
+    "parallel_speedup", "warm_cache_speedup",
+)
+
+
+def _result_key(result):
+    """A comparable snapshot of everything synthesis promises to fix."""
+    return (
+        result.assignment.names,
+        result.assignment.values,
+        {name: str(cover) for name, cover in result.covers.items()},
+        result.final_states,
+        result.final_signals,
+        tuple((m.output, m.status) for m in result.report.modules),
+    )
+
+
+def _run_suite(names, options_factory):
+    """One full pass over the suite; returns (wall_seconds, result_keys)."""
+    from repro.bench.suite import load_benchmark
+    from repro.csc.synthesis import modular_synthesis
+
+    keys = []
+    start = time.perf_counter()
+    for name in names:
+        stg = load_benchmark(name)
+        result = modular_synthesis(stg, options=options_factory())
+        keys.append(_result_key(result))
+    return time.perf_counter() - start, keys
+
+
+def measure(names, jobs, repeat):
+    """Time the three configurations; returns the artifact document."""
+    from repro.runtime.options import SynthesisOptions
+
+    def best(options_factory, passes=repeat):
+        seconds, keys = None, None
+        for _ in range(passes):
+            elapsed, pass_keys = _run_suite(names, options_factory)
+            if seconds is None or elapsed < seconds:
+                seconds, keys = elapsed, pass_keys
+        return seconds, keys
+
+    serial_seconds, serial_keys = best(
+        lambda: SynthesisOptions(minimize=True)
+    )
+    parallel_seconds, parallel_keys = best(
+        lambda: SynthesisOptions(minimize=True, jobs=jobs)
+    )
+
+    cache_root = tempfile.mkdtemp(prefix="bench-parallel-cache-")
+    try:
+        _run_suite(  # prime
+            names,
+            lambda: SynthesisOptions(minimize=True, cache_dir=cache_root),
+        )
+        warm_seconds, warm_keys = best(
+            lambda: SynthesisOptions(minimize=True, cache_dir=cache_root)
+        )
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "cores": os.cpu_count() or 1,
+        "jobs": jobs,
+        "repeat": repeat,
+        "benchmarks": list(names),
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "warm_cache_speedup": round(serial_seconds / warm_seconds, 3),
+        "identical": (
+            serial_keys == parallel_keys and serial_keys == warm_keys
+        ),
+    }
+
+
+def check_document(document):
+    """Problem strings for one artifact (empty list = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for field in ("cores", "jobs", "repeat"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 1:
+            problems.append(f"{field} missing or not a positive int")
+    benchmarks = document.get("benchmarks")
+    if (not isinstance(benchmarks, list) or not benchmarks
+            or not all(isinstance(n, str) for n in benchmarks)):
+        problems.append("benchmarks missing or not a list of names")
+    for field in _NUMBER_FIELDS:
+        value = document.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{field} missing or not a number")
+        elif value <= 0:
+            problems.append(f"{field} is not positive: {value!r}")
+    if document.get("identical") is not True:
+        problems.append("identical is not true: parallel or warm-cache "
+                        "results diverged from the serial run")
+    if problems:
+        return problems
+
+    warm = document["warm_cache_speedup"]
+    if warm < WARM_SPEEDUP_FLOOR:
+        problems.append(
+            f"warm_cache_speedup {warm} below floor {WARM_SPEEDUP_FLOOR}"
+        )
+    parallel = document["parallel_speedup"]
+    if document["cores"] >= 2 and parallel < PARALLEL_SPEEDUP_FLOOR:
+        problems.append(
+            f"parallel_speedup {parallel} below floor "
+            f"{PARALLEL_SPEEDUP_FLOOR} on a {document['cores']}-core machine"
+        )
+    return problems
+
+
+def _check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        problems = [f"cannot read: {exc}"]
+    except ValueError as exc:
+        problems = [f"not valid JSON: {exc}"]
+    else:
+        problems = check_document(document)
+    if problems:
+        print(f"{path}: INVALID", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{path}: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing artifact instead of measuring",
+    )
+    parser.add_argument(
+        "--names", default=",".join(DEFAULT_NAMES),
+        help="comma-separated benchmark subset",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker count for the parallel pass (default 4)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="timing passes per configuration, best-of (default 2)",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory for BENCH_parallel_modular.json (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _check(args.check)
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    document = measure(names, max(1, args.jobs), max(1, args.repeat))
+    path = os.path.join(args.out_dir, "BENCH_parallel_modular.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print(
+        f"  cores={document['cores']} jobs={document['jobs']} "
+        f"serial={document['serial_seconds']:.2f}s "
+        f"parallel={document['parallel_seconds']:.2f}s "
+        f"warm={document['warm_seconds']:.2f}s"
+    )
+    print(
+        f"  parallel_speedup={document['parallel_speedup']} "
+        f"warm_cache_speedup={document['warm_cache_speedup']} "
+        f"identical={document['identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

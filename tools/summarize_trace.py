@@ -3,12 +3,16 @@
 Usage::
 
     python tools/summarize_trace.py TRACE.jsonl [--top N] [--counters]
+                                                [--require COUNTER]
 
 Validates the journal first (header, nesting, monotonic timestamps) and
 exits 1 with the problems listed when it is malformed, so CI can gate on
 journal well-formedness with the same command developers use to read
 one.  The aggregation is :func:`repro.obs.aggregate_events` -- the exact
 fold the live tracer maintains for ``--metrics``/``--profile-top``.
+``--require COUNTER`` (repeatable) additionally exits 1 when the named
+counter total is missing or zero -- CI uses it to assert, e.g., that a
+warm-cache run actually hit the cache (``--require result_cache_hits``).
 
 Run with the repository's ``src`` on ``PYTHONPATH`` (or the package
 installed).
@@ -47,6 +51,10 @@ def main(argv=None):
         "--counters", action="store_true",
         help="also print the counter totals across all spans",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="COUNTER",
+        help="exit 1 unless this counter total is > 0 (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -63,9 +71,19 @@ def main(argv=None):
 
     stats = aggregate_events(events)
     print(format_profile(stats, top=args.top))
+    totals = counter_totals(stats)
     if args.counters:
         print()
-        print(format_counters(counter_totals(stats)))
+        print(format_counters(totals))
+    failed = [name for name in args.require if totals.get(name, 0) <= 0]
+    if failed:
+        for name in failed:
+            print(
+                f"error: required counter {name!r} is missing or zero "
+                f"in {args.journal}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
