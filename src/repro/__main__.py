@@ -13,6 +13,8 @@ Options:
 
 ``--method modular|direct|lavagno``   synthesis method (default modular)
 ``--engine hybrid|dpll|cdcl|bdd``     SAT engine (default hybrid)
+``--sat-mode incremental|oneshot``    incremental assumption-based SAT
+                                      vs cold solver per formula
 ``--timeout SECONDS``                 global wall-clock budget
 ``--max-states N``                    cap on generated state-graph states
 ``--no-fallback``                     disable engine escalation and
@@ -74,6 +76,13 @@ def main(argv=None):
     parser.add_argument(
         "--engine", choices=["hybrid", "dpll", "cdcl", "bdd"],
         default="hybrid",
+    )
+    parser.add_argument(
+        "--sat-mode", choices=["incremental", "oneshot"],
+        default="incremental",
+        help="incremental: one assumption-based solver per grow-m loop "
+             "(learned clauses carry across attempts); oneshot: cold "
+             "solver per formula (paper-faithful baseline)",
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -145,7 +154,7 @@ def _run(args, stg, tracer):
     budget = Budget(max_seconds=args.timeout, max_states=args.max_states)
     cache_dir = None if args.no_cache else args.cache_dir
     options = SynthesisOptions(
-        engine=args.engine, budget=budget,
+        engine=args.engine, sat_mode=args.sat_mode, budget=budget,
         fallback=not args.no_fallback, degrade=not args.no_fallback,
         jobs=max(1, args.jobs), cache_dir=cache_dir,
     )

@@ -148,6 +148,7 @@ def lavagno_synthesis(stg, options=None, **legacy):
                 limits=limits,
                 engine=engine,
                 on_limit="skip",
+                sat_mode=opts.sat_mode,
             )
         names = [
             f"{signal_prefix}{assignment.num_signals + k}"

@@ -131,7 +131,8 @@ def _attempt_stats(attempts):
 
 
 def run_modular(name, minimize=True, graph=None, engine="hybrid",
-                budget=None, fallback=False, cache_dir=None, jobs=1):
+                budget=None, fallback=False, cache_dir=None, jobs=1,
+                sat_mode="incremental"):
     """Run the paper's method on one benchmark.
 
     ``cache_dir`` wires the persistent
@@ -143,7 +144,7 @@ def run_modular(name, minimize=True, graph=None, engine="hybrid",
     result = modular_synthesis(graph, options=SynthesisOptions(
         minimize=minimize, engine=engine, budget=budget,
         fallback=fallback, degrade=fallback,
-        cache_dir=cache_dir, jobs=jobs,
+        cache_dir=cache_dir, jobs=jobs, sat_mode=sat_mode,
     ))
     attempts = [
         attempt for module in result.modules for attempt in module.attempts

@@ -78,7 +78,7 @@ class DirectResult:
 
 def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
                      signal_prefix="csc", max_refinements=10, engine="hybrid",
-                     budget=None, fallback=False):
+                     budget=None, fallback=False, sat_mode="incremental"):
     """Solve CSC on the whole graph with one monolithic formula.
 
     The SAT encoding constrains state *codes*; in rare corner cases the
@@ -102,7 +102,7 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
             outcome = solve_state_signals(
                 graph, limits=limits, max_signals=max_signals,
                 extra_conflict_pairs=tuple(extra_pairs), engine=engine,
-                budget=budget, fallback=fallback,
+                budget=budget, fallback=fallback, sat_mode=sat_mode,
             )
         attempts.extend(outcome.attempts)
         outcome.attempts = attempts
@@ -166,7 +166,7 @@ def direct_synthesis(stg, options=None, **legacy):
         graph, limits=opts.limits,
         max_signals=opts.resolved_max_signals(DEFAULT_MAX_SIGNALS),
         signal_prefix=opts.resolved_prefix("csc"), engine=opts.engine,
-        budget=budget, fallback=opts.fallback,
+        budget=budget, fallback=opts.fallback, sat_mode=opts.sat_mode,
     )
     if opts.polish:
         from repro.csc.polish import polish_assignment

@@ -63,7 +63,7 @@ _FALLBACK_SIGNAL_CAP = 4
 def partition_sat(graph, output, input_set, existing, limits=None,
                   max_signals=DEFAULT_MAX_SIGNALS, name_start=0,
                   signal_prefix="csc", engine="hybrid", budget=None,
-                  fallback=False, cache=None):
+                  fallback=False, cache=None, sat_mode="incremental"):
     """Solve the CSC constraints of one output on its modular graph.
 
     The greedy input-set derivation only guarantees the conflict count
@@ -90,9 +90,10 @@ def partition_sat(graph, output, input_set, existing, limits=None,
     name_start:
         Index from which new state signals are numbered (state signal
         names are global across the synthesis run).
-    budget / fallback:
-        Optional run-wide :class:`~repro.runtime.budget.Budget` and the
-        engine-fallback ladder switch, forwarded to the solve loop.
+    budget / fallback / sat_mode:
+        Optional run-wide :class:`~repro.runtime.budget.Budget`, the
+        engine-fallback ladder switch and the incremental/one-shot SAT
+        mode, all forwarded to the solve loop.
     cache:
         Optional :class:`~repro.perf.ProjectionCache` over ``graph``.
         The input-set derivation already projected every prefix of
@@ -140,6 +141,7 @@ def partition_sat(graph, output, input_set, existing, limits=None,
                 on_limit="skip",
                 budget=budget,
                 fallback=fallback,
+                sat_mode=sat_mode,
             )
         except SynthesisError as exc:
             if not hidden:

@@ -124,6 +124,7 @@ def _solve_one(output, input_set):
                 budget=budget,
                 fallback=params["fallback"],
                 cache=_worker["cache"],
+                sat_mode=params["sat_mode"],
             )
         except BudgetExhaustedError as exc:
             return _finish({
@@ -178,7 +179,8 @@ def _finish(payload, budget, used_before, tracer, buffer):
 # -- parent side -----------------------------------------------------------
 
 def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
-                     signal_prefix, engine, budget, fallback, jobs):
+                     signal_prefix, engine, budget, fallback, jobs,
+                     sat_mode="incremental"):
     """Solve the listed outputs' modules on a worker pool.
 
     Parameters
@@ -230,6 +232,7 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
         "signal_prefix": signal_prefix,
         "engine": engine,
         "fallback": fallback,
+        "sat_mode": sat_mode,
     }
     workers = min(jobs, len(to_dispatch))
     budget_slice = budget.split(workers)[0] if budget is not None else None

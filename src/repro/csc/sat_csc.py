@@ -39,6 +39,7 @@ from __future__ import annotations
 from repro.csc.errors import IntrinsicConflictError
 from repro.csc.values import Value
 from repro.sat.cnf import Cnf
+from repro.sat.incremental import IncrementalSolver
 from repro.stategraph.csc import code_classes, csc_conflicts
 from repro.stategraph.graph import EPSILON
 
@@ -412,3 +413,304 @@ def _add_implied_consistency(cnf, m, a_vars, b_vars, i, j, serial_flags):
 def formula_stats(formula):
     """``(num_vars, num_clauses)`` of a built formula."""
     return (formula.num_vars, formula.num_clauses)
+
+
+class IncrementalCscFormula:
+    """The SAT-CSC formula family of one grow-``m`` loop, *monotone*.
+
+    :func:`build_csc_formula` produces one frozen CNF per ``(m,
+    allow_serialisation)`` attempt; every attempt of a module's grow-m
+    loop therefore starts a cold solver.  This class restates the same
+    three constraint families so that attempts **compose**: clauses are
+    only ever added, and each attempt is the current clause database
+    decided under *assumptions* -- so one
+    :class:`~repro.sat.incremental.IncrementalSolver` serves the whole
+    loop and its learned clauses (including the refutation that proved
+    ``m`` infeasible) carry forward into ``m + 1``.
+
+    The guard scheme:
+
+    ``e_k`` (column enable, one per state signal)
+        Every clause that constrains column ``k``'s value bits -- edge
+        compatibility, the input-edge bans -- is written as
+        ``e_k -> clause``, and a column's distinction/separator
+        selectors imply ``e_k``.  The ``m``-attempt assumes
+        ``e_1 .. e_m``; a column beyond ``m`` (none exist today, because
+        columns grow lazily, but the encoding does not depend on that)
+        is switched off wholesale by leaving its enable free.
+
+    ``noserial`` (serialisation guard, one per formula)
+        The ban-serialisation family is written ``noserial -> clause``.
+        The banned variant assumes ``noserial``, the permissive variant
+        assumes ``-noserial`` -- the two variants of one ``m`` are two
+        assumption sets over one shared clause database.  Under
+        ``noserial`` every serialisation term is forced false, which
+        satisfies the (always present) flag and persistence machinery,
+        so the banned variant is equisatisfiable with the dedicated
+        banned formula of the one-shot path.
+
+    ``act_m`` (attempt activation, one per tried ``m``)
+        The clauses that are *stronger* for smaller ``m`` -- "some of
+        the first ``m`` selectors holds" (distinction), "``m``-column
+        separation or no disagreement" (implied consistency) -- are
+        written ``act_m -> clause``.  Attempt ``m`` assumes ``act_m``;
+        once the loop grows past ``m``, ``act_m`` is left free and the
+        obsolete stronger clauses are inert (their learned consequences
+        all carry ``-act_m`` and stay sound).
+
+    Serialisation flags, whose one-shot form aggregates terms over all
+    ``m`` columns in one biconditional, become per-state *chains*:
+    ``F^k <-> F^(k-1) or (column-k terms)``, so column growth appends
+    clauses instead of rewriting the aggregate; the ``m``-attempt's
+    consistency clauses reference ``F^m``.
+
+    On an UNSAT attempt the solver's failed-assumption core refines the
+    loop: a banned-variant core that does not contain ``noserial``
+    proves the permissive variant of the same ``m`` unsatisfiable too,
+    so the loop skips it outright.
+
+    Optimisation weights (the BDD engine's minimum-excitation models)
+    are *not* carried over: incremental solving is only used with the
+    search engines, which ignore weights.
+    """
+
+    def __init__(self, graph, outputs=None, extra_codes=None,
+                 extra_implied=None, conflict_pairs=None,
+                 solver=None):
+        if conflict_pairs is None:
+            conflict_pairs = csc_conflicts(
+                graph, outputs=outputs, extra_codes=extra_codes,
+                extra_implied=extra_implied,
+            )
+        intrinsic = [pair for pair in conflict_pairs if pair[0] == pair[1]]
+        if intrinsic:
+            raise IntrinsicConflictError(
+                f"states {sorted({a for a, _ in intrinsic})} have ambiguous "
+                "implied values; no state-signal insertion can satisfy CSC"
+            )
+        self.graph = graph
+        self.m = 0
+        self.conflict_pairs = list(conflict_pairs)
+        conflict_set = set(self.conflict_pairs)
+        self.match_pairs = []
+        for states in code_classes(graph, extra_codes).values():
+            for x, i in enumerate(states):
+                for j in states[x + 1:]:
+                    if (i, j) not in conflict_set:
+                        self.match_pairs.append((i, j))
+
+        self.solver = solver if solver is not None else IncrementalSolver()
+        self.noserial = self.solver.new_var()
+        self._a = [[] for _ in graph.states()]
+        self._b = [[] for _ in graph.states()]
+        self._enables = []
+        self._acts = {}  # m -> activation literal
+        # Distinction selectors per conflict pair, separator/disagreement
+        # selectors per match pair; one entry per grown column.
+        self._dist = {pair: [] for pair in self.conflict_pairs}
+        self._seps = {pair: [] for pair in self.match_pairs}
+        self._disagrees = {pair: [] for pair in self.match_pairs}
+        # The non-ε edges, split by whether an output labels them.
+        self._edges = [
+            (source, label, target)
+            for source, label, target in graph.edges
+            if label is not EPSILON
+        ]
+        non_inputs = graph.non_inputs
+        self._output_edges = {}  # source -> [(output, target)], edge order
+        for source, label, target in self._edges:
+            if label[0] in non_inputs:
+                self._output_edges.setdefault(source, []).append(
+                    (label[0], target)
+                )
+        #: serialisation chain flags: state -> [F^1, F^2, ...]
+        self._chains = {source: [] for source in self._output_edges}
+        self._terms = {}  # (source, output, k) -> (up_one, down_zero)
+
+    @property
+    def num_vars(self):
+        return self.solver.num_vars
+
+    @property
+    def num_clauses(self):
+        return self.solver.num_clauses
+
+    def ensure_m(self, m):
+        """Grow the clause database to support the ``m``-attempt."""
+        while self.m < m:
+            self._grow_column()
+        if m not in self._acts:
+            self._add_activation(m)
+
+    def assumptions(self, m, allow_serialisation):
+        """The assumption set selecting one ``(m, variant)`` attempt."""
+        if self.m < m or m not in self._acts:
+            raise ValueError(f"ensure_m({m}) has not been called")
+        guard = -self.noserial if allow_serialisation else self.noserial
+        return self._enables[:m] + [self._acts[m], guard]
+
+    def solve(self, m, allow_serialisation, limits=None):
+        """Decide one attempt; see :meth:`IncrementalSolver.solve`."""
+        self.ensure_m(m)
+        return self.solver.solve(
+            assumptions=self.assumptions(m, allow_serialisation),
+            limits=limits,
+        )
+
+    def decode(self, model, m):
+        """Decode a SAT model into per-state tuples of :class:`Value`."""
+        rows = []
+        for state in self.graph.states():
+            row = tuple(
+                Value.from_bits(
+                    1 if model[self._a[state][k]] else 0,
+                    1 if model[self._b[state][k]] else 0,
+                )
+                for k in range(m)
+            )
+            rows.append(row)
+        return rows
+
+    # -- column growth -----------------------------------------------------
+
+    def _grow_column(self):
+        """Add state-signal column ``k = self.m`` (monotone: no clause
+        touching existing columns is revisited)."""
+        k = self.m
+        solver = self.solver
+        add = solver.add_clause
+        a, b = self._a, self._b
+        for state in self.graph.states():
+            a[state].append(solver.new_var())
+        for state in self.graph.states():
+            b[state].append(solver.new_var())
+        enable = solver.new_var()
+        self._enables.append(enable)
+        off = -enable
+        non_inputs = self.graph.non_inputs
+
+        for source, label, target in self._edges:
+            au, bu = a[source][k], b[source][k]
+            av, bv = a[target][k], b[target][k]
+            # The six successor clauses of _add_edge_compatibility,
+            # guarded by the column enable.
+            add([off, au, bu, -av])
+            add([off, au, -bu, av, bv])
+            add([off, au, -bu, -av, -bv])
+            add([off, -au, bu, av])
+            add([off, -au, -bu, -av, bv])
+            add([off, -au, -bu, av, -bv])
+            if label[0] not in non_inputs:
+                # Input edges: never fire before the environment.
+                add([off, au, -bu, -av, bv])
+                add([off, -au, -bu, av, bv])
+            else:
+                # Output edges: the same two orderings are *optionally*
+                # banned, guarded by the serialisation guard.
+                add([off, -self.noserial, au, -bu, -av, bv])
+                add([off, -self.noserial, -au, -bu, av, bv])
+
+        for i, j in self.conflict_pairs:
+            ai, aj = a[i][k], a[j][k]
+            bi, bj = b[i][k], b[j][k]
+            d = solver.new_var()
+            add([-d, enable])  # a disabled column separates nothing
+            add([-d, ai, aj])
+            add([-d, -ai, -aj])
+            add([-d, -bi])
+            add([-d, -bj])
+            self._dist[(i, j)].append(d)
+
+        for i, j in self.match_pairs:
+            ai, aj = a[i][k], a[j][k]
+            bi, bj = b[i][k], b[j][k]
+            d = solver.new_var()
+            add([-d, enable])
+            add([-d, ai, aj])
+            add([-d, -ai, -aj])
+            add([-d, -bi])
+            add([-d, -bj])
+            self._seps[(i, j)].append(d)
+            g = solver.new_var()
+            for combo in _INCONSISTENT_COMBOS:
+                clause = [g]
+                for var, bit in zip((ai, bi, aj, bj), combo):
+                    clause.append(-var if bit else var)
+                add(clause)
+            self._disagrees[(i, j)].append(g)
+
+        for source, out_edges in self._output_edges.items():
+            column_terms = []
+            for output, target in out_edges:
+                au, bu = a[source][k], b[source][k]
+                av, bv = a[target][k], b[target][k]
+                up_one = solver.new_var()
+                add([-up_one, -au])
+                add([-up_one, bu])
+                add([-up_one, av])
+                add([-up_one, -bv])
+                add([up_one, au, -bu, -av, bv])
+                down_zero = solver.new_var()
+                add([-down_zero, au])
+                add([-down_zero, bu])
+                add([-down_zero, -av])
+                add([-down_zero, -bv])
+                add([down_zero, -au, -bu, av, bv])
+                self._terms[(source, output, k)] = (up_one, down_zero)
+                column_terms.extend((up_one, down_zero))
+            # Chain link: F^k <-> F^(k-1) or (this column's terms).
+            chain = self._chains[source]
+            flag = solver.new_var()
+            tail = [chain[-1]] if chain else []
+            for term in tail + column_terms:
+                add([-term, flag])
+            add([-flag] + tail + column_terms)
+            chain.append(flag)
+
+        for source, label, target in self._edges:
+            fired = label[0]
+            source_excited = self.graph.excitation(source)
+            for output in self.graph.excitation(target):
+                if output == fired or output not in source_excited:
+                    continue
+                down_terms = self._terms.get((target, output, k))
+                up_terms = self._terms.get((source, output, k))
+                if down_terms is None or up_terms is None:
+                    continue
+                t_up, t_down = down_terms
+                u_up, u_down = up_terms
+                add([-t_up, u_up, u_down])
+                add([-t_down, u_up, u_down])
+
+        self.m = k + 1
+
+    def _add_activation(self, m):
+        """Add the per-``m`` clause family under a fresh ``act_m``."""
+        if self.m < m:
+            raise ValueError(f"cannot activate m={m} with {self.m} columns")
+        solver = self.solver
+        act = solver.new_var()
+        inactive = -act
+        for pair in self.conflict_pairs:
+            solver.add_clause([inactive] + self._dist[pair][:m])
+        for pair in self.match_pairs:
+            separators = self._seps[pair][:m]
+            for g in self._disagrees[pair][:m]:
+                solver.add_clause([inactive] + separators + [-g])
+            i, j = pair
+            chain_i = self._chains.get(i)
+            chain_j = self._chains.get(j)
+            flag_i = chain_i[m - 1] if chain_i else None
+            flag_j = chain_j[m - 1] if chain_j else None
+            if flag_i is not None and flag_j is not None:
+                solver.add_clause(
+                    [inactive] + separators + [-flag_i, flag_j]
+                )
+                solver.add_clause(
+                    [inactive] + separators + [flag_i, -flag_j]
+                )
+            elif flag_i is not None:
+                solver.add_clause([inactive] + separators + [-flag_i])
+            elif flag_j is not None:
+                solver.add_clause([inactive] + separators + [-flag_j])
+        self._acts[m] = act

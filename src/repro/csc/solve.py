@@ -10,14 +10,21 @@ from __future__ import annotations
 
 from repro import obs
 from repro.csc.errors import BacktrackLimitError, SynthesisError
-from repro.csc.sat_csc import build_csc_formula
+from repro.csc.sat_csc import IncrementalCscFormula, build_csc_formula
 from repro.obs import Counters, Stopwatch
+from repro.runtime.faults import should_fire as _fault_fires
 from repro.sat import solve_with
-from repro.sat.solver import LIMIT, SAT
+from repro.sat.solver import LIMIT, SAT, SolveResult
 from repro.stategraph.csc import csc_conflicts, csc_lower_bound
 
 #: Safety cap: no benchmark needs anywhere near this many state signals.
 DEFAULT_MAX_SIGNALS = 12
+
+#: Engines the incremental SAT core may replace.  ``"dpll"`` stays the
+#: era-faithful chronological search (the Table-1 abort regime) and
+#: ``"bdd"`` returns minimum-weight models; neither behaviour exists in
+#: the incremental solver, so those engines always solve one-shot.
+INCREMENTAL_ENGINES = ("hybrid", "cdcl")
 
 
 class AttemptStats:
@@ -99,7 +106,8 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
                         max_signals=DEFAULT_MAX_SIGNALS,
                         extra_conflict_pairs=(), engine="hybrid",
                         on_limit="raise", conflict_pairs=None,
-                        extra_excited=None, budget=None, fallback=False):
+                        extra_excited=None, budget=None, fallback=False,
+                        sat_mode="incremental"):
     """Insert the fewest state signals the SAT search finds satisfiable.
 
     Parameters
@@ -125,6 +133,22 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
         every per-solve budget, pools backtracks, and adds a checkpoint
         before each attempt) and the engine-fallback ladder switch,
         both forwarded to :func:`repro.sat.solve_with`.
+    sat_mode:
+        ``"incremental"`` (default) holds one assumption-based
+        :class:`~repro.sat.incremental.IncrementalSolver` for the whole
+        grow-``m`` loop: learned clauses carry across attempts, the two
+        serialisation variants of one ``m`` share a clause database,
+        and a banned-variant UNSAT core that never used the
+        serialisation guard skips the permissive re-solve outright.
+        ``"oneshot"`` rebuilds the CNF and starts a cold engine per
+        attempt -- the paper-faithful baseline.  The mode only applies
+        to the :data:`INCREMENTAL_ENGINES`; ``"dpll"``/``"bdd"`` keep
+        their one-shot semantics regardless.  An incremental attempt
+        that exhausts its budget is retried one-shot through
+        :func:`~repro.sat.solve_with` (and its escalation ladder when
+        ``fallback`` is set) before the ``on_limit`` policy applies --
+        the retry is journalled as an ``oneshot_fallback`` event, never
+        silent.
 
     Raises
     ------
@@ -194,6 +218,12 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
     # solved -- one formula per m, as in the original monolithic method,
     # so a budget exhaustion is attributable to *the* formula.
     variants = (False, True) if on_limit == "skip" else (True,)
+    if sat_mode == "incremental" and engine in INCREMENTAL_ENGINES:
+        return _grow_incremental(
+            graph, conflicts, outputs, extra_codes, extra_implied,
+            limits, m, max_signals, variants, engine, on_limit,
+            budget, fallback, watch,
+        )
     while m <= max_signals:
         for allow_serialisation in variants:
             if budget is not None:
@@ -236,6 +266,109 @@ def solve_state_signals(graph, outputs=None, extra_codes=None,
                 return SolveOutcome(
                     rows, m, attempts, watch.elapsed()
                 )
+        m += 1
+    raise SynthesisError(
+        f"no satisfiable formula up to m={max_signals} state signals"
+    )
+
+
+def _grow_incremental(graph, conflicts, outputs, extra_codes, extra_implied,
+                      limits, m, max_signals, variants, engine, on_limit,
+                      budget, fallback, watch):
+    """The grow-``m`` loop over one persistent incremental solver.
+
+    Semantically identical to the one-shot loop (same attempt order,
+    same ``on_limit`` policy, same exceptions); operationally each
+    attempt is the shared clause database under a new assumption set,
+    so learned clauses carry across variants *and* across ``m``.  Two
+    refinements the one-shot loop cannot express:
+
+    * when the banned-serialisation variant is UNSAT and its
+      failed-assumption core never used the serialisation guard, the
+      permissive variant of the same ``m`` is skipped -- the core
+      already proves it unsatisfiable (``variant_skips``);
+    * when an incremental attempt runs out of budget, the attempt is
+      retried one-shot via :func:`~repro.sat.solve_with` (with the
+      escalation ladder when ``fallback`` is set) before the
+      ``on_limit`` policy applies; the retry is journalled as an
+      ``oneshot_fallback`` point event and counted, never silent.
+    """
+    attempts = []
+    formula = IncrementalCscFormula(
+        graph, outputs=outputs, extra_codes=extra_codes,
+        extra_implied=extra_implied, conflict_pairs=conflicts,
+    )
+    while m <= max_signals:
+        skip_permissive = False
+        for allow_serialisation in variants:
+            if allow_serialisation and skip_permissive:
+                # The banned-variant core proved this variant UNSAT.
+                obs.add("variant_skips")
+                continue
+            if budget is not None:
+                budget.checkpoint("solve-state-signals")
+            with obs.span("encode", m=m) as encode_span:
+                formula.ensure_m(m)
+                encode_span.add("num_clauses", formula.num_clauses)
+                encode_span.add("num_vars", formula.num_vars)
+            decoder = formula.decode
+            with obs.span("sat_attempt", m=m, engine=engine,
+                          sat_mode="incremental") as attempt_span:
+                attempt_limits = (
+                    budget.sub_limits(limits) if budget is not None
+                    else limits
+                )
+                if _fault_fires("solver-limit", detail=engine):
+                    result = SolveResult(LIMIT, None, 0, 0, 0, 0.0)
+                else:
+                    result = formula.solve(
+                        m, allow_serialisation, attempt_limits
+                    )
+                if result.status == LIMIT:
+                    obs.add("oneshot_fallbacks")
+                    obs.event(
+                        "oneshot_fallback", m=m, engine=engine,
+                        variant=("permissive" if allow_serialisation
+                                 else "banned"),
+                    )
+                    oneshot = build_csc_formula(
+                        graph, m, outputs=outputs, extra_codes=extra_codes,
+                        extra_implied=extra_implied,
+                        conflict_pairs=conflicts,
+                        allow_serialisation=allow_serialisation,
+                    )
+                    result = solve_with(
+                        oneshot.cnf, limits, engine=engine,
+                        fallback=fallback, budget=budget,
+                    )
+                    decoder = lambda model, _m: oneshot.decode(model)
+                attempt_span.set("status", result.status)
+                attempt_span.add("sat_attempts")
+                attempt_span.add("num_clauses", formula.num_clauses)
+                attempt_span.add("num_vars", formula.num_vars)
+                attempt_span.merge(result.metrics)
+            if budget is not None:
+                budget.charge_backtracks(result.backtracks)
+            attempts.append(
+                AttemptStats(
+                    m, formula.num_vars, formula.num_clauses, result
+                )
+            )
+            if result.status == LIMIT and on_limit != "skip":
+                raise BacktrackLimitError(
+                    f"SAT backtrack limit reached with m={m} "
+                    f"({formula.num_clauses} clauses, "
+                    f"{formula.num_vars} vars)",
+                    backtracks=result.backtracks,
+                    seconds=watch.elapsed(),
+                )
+            if result.status == SAT:
+                rows = decoder(result.assignment, m)
+                return SolveOutcome(rows, m, attempts, watch.elapsed())
+            core = getattr(result, "failed_assumptions", None)
+            if (not allow_serialisation and core is not None
+                    and formula.noserial not in core):
+                skip_permissive = True
         m += 1
     raise SynthesisError(
         f"no satisfiable formula up to m={max_signals} state signals"

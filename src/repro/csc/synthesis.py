@@ -198,6 +198,7 @@ def modular_synthesis(stg, options=None, **legacy):
     max_signals = opts.resolved_max_signals(DEFAULT_MAX_SIGNALS)
     signal_prefix = opts.resolved_prefix("csc")
     engine = opts.engine
+    sat_mode = opts.sat_mode
     budget = opts.budget
     fallback = opts.fallback
     degrade = opts.degrade
@@ -243,7 +244,7 @@ def modular_synthesis(stg, options=None, **legacy):
         graph, outputs, prescan, cache, rcache, base_fp, opts_fp,
         limits=limits, max_signals=max_signals,
         signal_prefix=signal_prefix, engine=engine, budget=budget,
-        fallback=fallback, jobs=jobs,
+        fallback=fallback, jobs=jobs, sat_mode=sat_mode,
     )
 
     report = RunReport(method="modular", engine=engine)
@@ -257,6 +258,7 @@ def modular_synthesis(stg, options=None, **legacy):
                 graph, output, assignment, modules, report,
                 limits=limits, max_signals=max_signals,
                 signal_prefix=signal_prefix, engine=engine,
+                sat_mode=sat_mode,
                 budget=budget, fallback=fallback, degrade=degrade,
                 cache=cache, prescan=prescan,
                 prepared=prepared, basis=basis, rcache=rcache,
@@ -268,6 +270,7 @@ def modular_synthesis(stg, options=None, **legacy):
             assignment, expanded, repair_attempts = _repair(
                 graph, assignment, limits, max_signals, signal_prefix,
                 engine, budget=budget, fallback=fallback,
+                sat_mode=sat_mode,
             )
         if opts.polish:
             from repro.csc.polish import polish_assignment
@@ -312,7 +315,8 @@ def modular_synthesis(stg, options=None, **legacy):
 
 def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
                      opts_fp, *, limits, max_signals, signal_prefix,
-                     engine, budget, fallback, jobs):
+                     engine, budget, fallback, jobs,
+                     sat_mode="incremental"):
     """Pre-solve modules from the result cache and/or a worker pool.
 
     Returns ``(prepared, basis, module_keys)``:
@@ -364,6 +368,7 @@ def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
             graph, to_solve, basis, limits=limits,
             max_signals=max_signals, signal_prefix=signal_prefix,
             engine=engine, budget=budget, fallback=fallback, jobs=jobs,
+            sat_mode=sat_mode,
         ))
     return prepared, basis, module_keys
 
@@ -432,7 +437,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
                   limits, max_signals, signal_prefix, engine, budget,
                   fallback, degrade, cache=None, prescan=None,
                   prepared=None, basis=None, rcache=None, rkey=None,
-                  cacheable=False):
+                  cacheable=False, sat_mode="incremental"):
     """One output's modular pass, degrading per policy on failure.
 
     Returns the extended assignment and appends to ``modules`` /
@@ -501,6 +506,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
                     name_start=assignment.num_signals,
                     signal_prefix=signal_prefix, engine=engine,
                     budget=budget, fallback=fallback, cache=cache,
+                    sat_mode=sat_mode,
                 )
             except CscError as exc:
                 cause = exc
@@ -520,7 +526,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
                 graph, output, assignment, report, cause,
                 limits=limits, max_signals=max_signals,
                 signal_prefix=signal_prefix, engine=engine, budget=budget,
-                fallback=fallback,
+                fallback=fallback, sat_mode=sat_mode,
             )
             module_span.set("status", report.modules[-1].status)
             return assignment
@@ -541,7 +547,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
 
 def _degrade_module(graph, output, assignment, report, cause, *,
                     limits, max_signals, signal_prefix, engine, budget,
-                    fallback):
+                    fallback, sat_mode="incremental"):
     """Per-output direct sub-solve on the full graph (degraded mode).
 
     The modular pass failed for this output; instead of aborting the
@@ -563,6 +569,7 @@ def _degrade_module(graph, output, assignment, report, cause, *,
             on_limit="skip",
             budget=budget,
             fallback=fallback,
+            sat_mode=sat_mode,
         )
     except CscError as exc:
         report.add_module(
@@ -626,7 +633,7 @@ def _default_output_order(graph, cache=None):
 
 
 def _repair(graph, assignment, limits, max_signals, signal_prefix, engine,
-            budget=None, fallback=False):
+            budget=None, fallback=False, sat_mode="incremental"):
     """Resolve residual conflicts until the expanded graph satisfies CSC.
 
     Each round: expand, look for CSC violations among expanded states, map
@@ -667,6 +674,7 @@ def _repair(graph, assignment, limits, max_signals, signal_prefix, engine,
             on_limit="skip",
             budget=budget,
             fallback=fallback,
+            sat_mode=sat_mode,
         )
         names = [
             f"{signal_prefix}{assignment.num_signals + k}"

@@ -51,14 +51,14 @@ from repro import obs
 #: Version salt baked into every record.  Bump when a change to solver,
 #: propagation, repair or minimisation logic makes previously cached
 #: results meaningless.
-CACHE_SALT = "repro-result-cache/1"
+CACHE_SALT = "repro-result-cache/2"
 
 #: SynthesisOptions fields that parameterise *what* is computed.  The
 #: excluded fields (``budget``, ``jobs``, ``cache_dir``) only change how
 #: the computation is scheduled.
 _FINGERPRINT_FIELDS = (
     "minimize", "max_signals", "output_order", "signal_prefix",
-    "engine", "polish", "fallback", "degrade",
+    "engine", "polish", "fallback", "degrade", "sat_mode",
 )
 
 

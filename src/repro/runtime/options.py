@@ -74,6 +74,14 @@ class SynthesisOptions:
         Directory of the persistent
         :class:`~repro.perf.result_cache.ResultCache`.  ``None`` (the
         default) disables cross-run caching.
+    sat_mode:
+        ``"incremental"`` (default) solves each grow-``m`` loop on one
+        persistent assumption-based solver, carrying learned clauses
+        across attempts; ``"oneshot"`` rebuilds the formula and starts
+        a cold engine per attempt (the paper-faithful baseline).  Only
+        the search engines (``"hybrid"``/``"cdcl"``) have an
+        incremental form; ``"dpll"`` and ``"bdd"`` always solve
+        one-shot.  See ``docs/performance.md``.
     """
 
     limits: object = None
@@ -88,11 +96,17 @@ class SynthesisOptions:
     degrade: bool = False
     jobs: int = 1
     cache_dir: object = None
+    sat_mode: str = "incremental"
 
     def __post_init__(self):
         if self.output_order is not None:
             object.__setattr__(
                 self, "output_order", tuple(self.output_order)
+            )
+        if self.sat_mode not in ("incremental", "oneshot"):
+            raise ValueError(
+                f"sat_mode must be 'incremental' or 'oneshot', "
+                f"not {self.sat_mode!r}"
             )
 
     def evolve(self, **changes):

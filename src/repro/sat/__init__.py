@@ -163,9 +163,11 @@ from repro.sat.encode import (
     add_implies,
     add_xor_var,
 )
+from repro.sat.incremental import IncrementalSolver
 
 __all__ = [
     "Cnf",
+    "IncrementalSolver",
     "LIMIT",
     "Limits",
     "SAT",

@@ -16,7 +16,9 @@ meaningful for both engines.
 from __future__ import annotations
 
 from repro.obs import Stopwatch
-from repro.sat.solver import LIMIT, SAT, UNSAT, Limits, SolveResult
+from repro.sat.solver import (
+    LIMIT, SAT, UNSAT, Limits, SolveResult, _TIME_CHECK_STRIDE,
+)
 
 _ACTIVITY_DECAY = 0.95
 _RESCALE_LIMIT = 1e100
@@ -249,6 +251,11 @@ class _Cdcl:
             if branch is None:
                 return result(SAT)
             self.decisions += 1
+            if (
+                self.decisions % _TIME_CHECK_STRIDE == 0
+                and watch.exceeded(self.limits.max_seconds)
+            ):
+                return result(LIMIT)
             self.trail_lim.append(len(self.trail))
             self._assign(branch, None)
             head = len(self.trail) - 1

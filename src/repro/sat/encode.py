@@ -25,9 +25,34 @@ def add_xor_var(cnf, a, b, name=None):
     return d
 
 
+#: Above this many literals the pairwise at-most-one encoding (which
+#: needs n(n-1)/2 clauses) loses to the sequential counter (3n-4).
+_SEQUENTIAL_THRESHOLD = 6
+
+
 def add_at_most_one(cnf, literals):
-    """Pairwise at-most-one over ``literals``."""
+    """At-most-one over ``literals``.
+
+    Small sets keep the classic pairwise encoding; above
+    :data:`_SEQUENTIAL_THRESHOLD` literals the sequential-counter
+    encoding of Sinz (2005) is used instead, spending ``n - 1``
+    auxiliary variables to cut the clause count from pairwise's
+    quadratic ``n(n-1)/2`` to ``3n - 4``.  The auxiliaries are
+    functionally determined ("some literal up to position *i* is
+    true"), so the two encodings are equisatisfiable over the input
+    literals and every model's projection is preserved.
+    """
     literals = list(literals)
-    for i, a in enumerate(literals):
-        for b in literals[i + 1:]:
-            cnf.add_clause([-a, -b])
+    n = len(literals)
+    if n <= _SEQUENTIAL_THRESHOLD:
+        for i, a in enumerate(literals):
+            for b in literals[i + 1:]:
+                cnf.add_clause([-a, -b])
+        return
+    registers = [cnf.new_var() for _ in range(n - 1)]
+    cnf.add_clause([-literals[0], registers[0]])
+    for i in range(1, n - 1):
+        cnf.add_clause([-literals[i], registers[i]])
+        cnf.add_clause([-registers[i - 1], registers[i]])
+        cnf.add_clause([-literals[i], -registers[i - 1]])
+    cnf.add_clause([-literals[n - 1], -registers[n - 2]])

@@ -16,6 +16,11 @@ UNSAT = "unsat"
 #: Returned when the search gave up because a budget was exhausted.
 LIMIT = "limit"
 
+#: Decisions between wall-clock checks.  Conflicts always check the
+#: deadline, but a long conflict-free decide/propagate stretch must not
+#: be allowed to sail past ``Limits.max_seconds`` unchecked.
+_TIME_CHECK_STRIDE = 64
+
 
 class Limits:
     """Search budgets.
@@ -270,6 +275,11 @@ class _Search:
             if branch is None:
                 return result(SAT)
             self.decisions += 1
+            if (
+                self.decisions % _TIME_CHECK_STRIDE == 0
+                and watch.exceeded(self.limits.max_seconds)
+            ):
+                return result(LIMIT)
             self.order_pos_stack.append(self.next_order_pos)
             self._assign(branch, is_decision=True)
             self.trail[-1][1] = True  # mark decision

@@ -96,3 +96,77 @@ class TestSolveAndDecode:
         rows = self._solve(graph, 2)
         assert len(rows) == graph.num_states
         assert all(len(row) == 2 for row in rows)
+
+
+class TestIncrementalFormula:
+    def _formula(self):
+        from repro.csc.sat_csc import IncrementalCscFormula
+
+        return IncrementalCscFormula(conflict_graph())
+
+    def test_columns_grow_monotonically(self):
+        formula = self._formula()
+        formula.ensure_m(1)
+        vars_one, clauses_one = formula.num_vars, formula.num_clauses
+        formula.ensure_m(2)
+        assert formula.num_vars > vars_one
+        assert formula.num_clauses > clauses_one
+        # Growing is idempotent: re-asking for a covered m adds nothing.
+        vars_two, clauses_two = formula.num_vars, formula.num_clauses
+        formula.ensure_m(1)
+        assert (formula.num_vars, formula.num_clauses) \
+            == (vars_two, clauses_two)
+
+    def test_assumptions_select_attempt(self):
+        formula = self._formula()
+        formula.ensure_m(1)
+        formula.ensure_m(2)
+        banned = formula.assumptions(1, allow_serialisation=False)
+        permissive = formula.assumptions(1, allow_serialisation=True)
+        assert banned[-1] == formula.noserial
+        assert permissive[-1] == -formula.noserial
+        assert banned[:-1] == permissive[:-1]
+        # The m=2 attempt assumes one more enable column.
+        assert len(formula.assumptions(2, True)) \
+            == len(permissive) + 1
+
+    def test_solve_and_decode_resolve_conflicts(self):
+        graph = conflict_graph()
+        from repro.csc.sat_csc import IncrementalCscFormula
+
+        formula = IncrementalCscFormula(graph)
+        formula.ensure_m(1)
+        # The banned variant is UNSAT at m=1 on this graph (the one-shot
+        # build agrees; see test_matches_oneshot_satisfiability) and must
+        # report which assumptions the refutation used.
+        banned = formula.solve(1, allow_serialisation=False)
+        assert banned.status == "unsat"
+        assert banned.failed_assumptions is not None
+        result = formula.solve(1, allow_serialisation=True)
+        assert result.status == "sat"
+        rows = formula.decode(result.assignment, 1)
+        assert all(len(row) == 1 for row in rows)
+        assignment = Assignment(("n0",), rows)
+        assert csc_conflicts(
+            graph,
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+        ) == []
+
+    def test_matches_oneshot_satisfiability(self):
+        # Same graph, same m, same variant: the monotone formula under
+        # assumptions and the one-shot build must agree on status.
+        graph = conflict_graph()
+        from repro.csc.sat_csc import IncrementalCscFormula
+
+        formula = IncrementalCscFormula(graph)
+        for m in (1, 2):
+            formula.ensure_m(m)
+            for allow_serialisation in (False, True):
+                oneshot = build_csc_formula(
+                    graph, m, allow_serialisation=allow_serialisation
+                )
+                assert (
+                    formula.solve(m, allow_serialisation).status
+                    == solve(oneshot.cnf).status
+                )

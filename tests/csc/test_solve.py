@@ -91,6 +91,65 @@ class TestPolicies:
         assert outcome.m == 0
 
 
+class TestIncrementalLoop:
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        from repro.runtime import faults
+
+        faults.clear()
+        yield
+        faults.clear()
+
+    def test_incremental_matches_oneshot_m(self):
+        graph = conflict_graph()
+        incremental = solve_state_signals(graph, sat_mode="incremental")
+        oneshot = solve_state_signals(graph, sat_mode="oneshot")
+        assert incremental.m == oneshot.m == 1
+        assignment = Assignment(("n0",), incremental.rows)
+        assert csc_conflicts(
+            graph,
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+        ) == []
+
+    def test_incremental_attempt_metrics(self):
+        outcome = solve_state_signals(conflict_graph())
+        final = outcome.attempts[-1]
+        assert final.metrics["incremental_solves"] == 1
+
+    def test_dpll_engine_stays_oneshot(self):
+        outcome = solve_state_signals(
+            conflict_graph(), engine="dpll", sat_mode="incremental"
+        )
+        assert outcome.m == 1
+        assert outcome.attempts[-1].metrics["incremental_solves"] == 0
+
+    def test_limit_falls_back_to_oneshot(self):
+        # One injected budget exhaustion on the incremental attempt:
+        # the loop must retry that attempt one-shot and still succeed.
+        from repro.runtime import faults
+
+        with faults.injected("solver-limit", times=1):
+            outcome = solve_state_signals(
+                conflict_graph(), on_limit="skip"
+            )
+        assert outcome.m == 1
+        graph = conflict_graph()
+        assignment = Assignment(("n0",), outcome.rows)
+        assert csc_conflicts(
+            graph,
+            extra_codes=assignment.cur_bits(),
+            extra_implied=assignment.implied_bits(),
+        ) == []
+
+    def test_persistent_limit_raises_under_raise_policy(self):
+        from repro.runtime import faults
+
+        with faults.injected("solver-limit", times=None):
+            with pytest.raises(BacktrackLimitError):
+                solve_state_signals(conflict_graph())
+
+
 class TestExtraPairFiltering:
     def test_unseparated_pair_kept(self):
         graph = conflict_graph()

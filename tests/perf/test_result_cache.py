@@ -125,6 +125,17 @@ def test_options_fingerprint_tracks_result_fields():
     assert base != options_fingerprint(
         SynthesisOptions(minimize=True), method="direct"
     )
+    assert base != options_fingerprint(SynthesisOptions(
+        minimize=True, sat_mode="oneshot"
+    ))
+
+
+def test_salt_bumped_for_incremental_sat():
+    # Entries written before the incremental SAT core may decode
+    # differently (different but equally valid models), so the salt had
+    # to move past every pre-incremental version.
+    old = int("repro-result-cache/1".rsplit("/", 1)[1])
+    assert int(CACHE_SALT.rsplit("/", 1)[1]) > old
 
 
 def test_graph_fingerprint_is_structural():
@@ -153,9 +164,12 @@ def _observable(result):
     }
 
 
-def test_warm_run_reproduces_cold_run(tmp_path):
+@pytest.mark.parametrize("sat_mode", ["incremental", "oneshot"])
+def test_warm_run_reproduces_cold_run(tmp_path, sat_mode):
     graph = build_state_graph(load_benchmark("alloc-outbound"))
-    options = SynthesisOptions(minimize=True, cache_dir=str(tmp_path))
+    options = SynthesisOptions(
+        minimize=True, cache_dir=str(tmp_path), sat_mode=sat_mode
+    )
     cold = modular_synthesis(graph, options=options)
     warm = modular_synthesis(graph, options=options)
     # Identical to the ``seconds`` field: the artifact stores the cold

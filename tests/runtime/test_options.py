@@ -40,6 +40,14 @@ class TestSynthesisOptions:
         assert SynthesisOptions(signal_prefix="s").resolved_prefix("lm") \
             == "s"
 
+    def test_sat_mode_defaults_incremental(self):
+        assert SynthesisOptions().sat_mode == "incremental"
+        assert SynthesisOptions(sat_mode="oneshot").sat_mode == "oneshot"
+
+    def test_sat_mode_validated(self):
+        with pytest.raises(ValueError, match="sat_mode"):
+            SynthesisOptions(sat_mode="warm")
+
 
 class TestCoerceOptions:
     def test_legacy_kwargs_warn_and_fold(self):

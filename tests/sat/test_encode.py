@@ -62,3 +62,38 @@ def test_add_at_most_one():
     for model in models(cnf, vs):
         assert sum(model) <= 1
     assert solve(cnf).status == "sat"
+    # Small sets stay pairwise: no auxiliary variables.
+    assert cnf.num_vars == 4
+
+
+def test_add_at_most_one_sequential():
+    # Above the threshold the sequential-counter encoding takes over;
+    # its projection onto the input literals must be exactly the
+    # pairwise one's: every assignment with <= 1 literal true, no other.
+    n = 8
+    cnf = Cnf()
+    vs = [cnf.new_var() for _ in range(n)]
+    add_at_most_one(cnf, vs)
+    assert cnf.num_vars == 2 * n - 1  # n inputs + n-1 counter bits
+    expected = {tuple(False for _ in range(n))} | {
+        tuple(i == j for j in range(n)) for i in range(n)
+    }
+    assert models(cnf, vs) == expected
+
+
+def test_add_at_most_one_clause_counts():
+    for n in (7, 9, 12):
+        cnf = Cnf()
+        vs = [cnf.new_var() for _ in range(n)]
+        add_at_most_one(cnf, vs)
+        pairwise = n * (n - 1) // 2
+        assert len(cnf.clauses) == 3 * n - 4 < pairwise
+
+
+def test_add_at_most_one_negated_literals():
+    # The helper accepts arbitrary literals, not just positive ones.
+    cnf = Cnf()
+    vs = [cnf.new_var() for _ in range(7)]
+    add_at_most_one(cnf, [-v for v in vs])
+    for model in models(cnf, vs):
+        assert sum(1 for value in model if not value) <= 1

@@ -1,0 +1,250 @@
+"""Unit tests for the assumption-based incremental solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import Cnf, solve
+from repro.sat.incremental import IncrementalSolver, luby
+from repro.sat.solver import LIMIT, SAT, UNSAT, Limits
+
+
+def brute_force(num_vars, clauses, assumptions=()):
+    """Reference decision procedure by exhaustive enumeration."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        model = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if any(model[abs(a)] != (a > 0) for a in assumptions):
+            continue
+        if all(
+            any(model[abs(q)] == (q > 0) for q in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def pigeonhole(solver, pigeons, holes, guard=None):
+    """PHP(pigeons, holes) clauses, optionally guarded by ``guard``."""
+    grid = [
+        [solver.new_var() for _ in range(holes)] for _ in range(pigeons)
+    ]
+    prefix = [] if guard is None else [-guard]
+    for row in grid:
+        solver.add_clause(prefix + row)
+    for hole in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                solver.add_clause(
+                    prefix + [-grid[i][hole], -grid[j][hole]]
+                )
+    return grid
+
+
+def test_luby_sequence():
+    assert [luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_basic_sat_and_model():
+    solver = IncrementalSolver()
+    x, y = solver.new_var(), solver.new_var()
+    solver.add_clauses([[x, y], [-x, y]])
+    result = solver.solve()
+    assert result.status == SAT
+    assert result.assignment[y] is True
+    assert result.failed_assumptions is None
+
+
+def test_clauses_persist_between_solves():
+    solver = IncrementalSolver()
+    x, y = solver.new_var(), solver.new_var()
+    solver.add_clauses([[x, y], [-x, y]])
+    assert solver.solve(assumptions=[-y]).status == UNSAT
+    assert solver.solve().status == SAT
+    solver.add_clause([-y, x])
+    result = solver.solve(assumptions=[x])
+    assert result.status == SAT
+    assert result.assignment[x] is True
+
+
+def test_failed_assumption_core_is_relevant_subset():
+    solver = IncrementalSolver()
+    a, b, c, d = (solver.new_var() for _ in range(4))
+    solver.add_clause([-a, -b])  # a and b clash; c, d are bystanders
+    result = solver.solve(assumptions=[c, a, d, b])
+    assert result.status == UNSAT
+    core = result.failed_assumptions
+    assert set(core) <= {c, a, d, b}
+    assert a in core and b in core
+    assert c not in core and d not in core
+    # Core order follows the assumption list.
+    assert list(core) == sorted(core, key=[c, a, d, b].index)
+    assert result.metrics["assumption_cores"] == 1
+
+
+def test_empty_core_means_unconditionally_unsat():
+    solver = IncrementalSolver()
+    x = solver.new_var()
+    solver.add_clauses([[x], [-x]])
+    result = solver.solve(assumptions=[x])
+    assert result.status == UNSAT
+    assert result.failed_assumptions == ()
+    # The root conflict is latched: later calls stay UNSAT.
+    assert solver.solve().status == UNSAT
+    assert solver.solve().failed_assumptions == ()
+
+
+def test_core_through_propagation_chain():
+    solver = IncrementalSolver()
+    a, b, c, g = (solver.new_var() for _ in range(4))
+    solver.add_clauses([[-a, b], [-b, c], [-g, -c]])
+    result = solver.solve(assumptions=[g, a])
+    assert result.status == UNSAT
+    assert set(result.failed_assumptions) == {g, a}
+
+
+def test_unknown_variable_rejected():
+    solver = IncrementalSolver()
+    x = solver.new_var()
+    with pytest.raises(ValueError):
+        solver.add_clause([x, 5])
+    with pytest.raises(ValueError):
+        solver.solve(assumptions=[9])
+
+
+def test_root_level_simplification():
+    solver = IncrementalSolver()
+    x, y, z = (solver.new_var() for _ in range(3))
+    solver.add_clause([x])  # root unit, stored as an assignment
+    solver.add_clause([x, y])  # satisfied forever: discarded
+    solver.add_clause([-x, y, z])  # -x dropped: stored as [y, z]
+    assert solver.num_clauses == 1
+    assert solver.solve(assumptions=[-y]).status == SAT
+
+
+def test_learned_clauses_short_circuit_repeat_unsat():
+    solver = IncrementalSolver()
+    guard = solver.new_var()
+    pigeonhole(solver, 5, 4, guard=guard)
+    first = solver.solve(assumptions=[guard])
+    assert first.status == UNSAT
+    assert first.failed_assumptions == (guard,)
+    assert first.metrics["backtracks"] > 0
+    # The refutation was learned: repeating the question is free.
+    second = solver.solve(assumptions=[guard])
+    assert second.status == UNSAT
+    assert second.metrics["backtracks"] == 0
+    assert second.metrics["learned_kept"] > 0
+    # The guard off, the pigeonhole clauses are inert.
+    assert solver.solve(assumptions=[-guard]).status == SAT
+
+
+def test_db_reduction_keeps_solver_sound():
+    rng = random.Random(7)
+    num_vars, num_clauses = 14, 60
+    clauses = [
+        [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), 3)
+        ]
+        for _ in range(num_clauses)
+    ]
+    solver = IncrementalSolver(reduce_base=5, reduce_inc=0)
+    solver.add_vars(num_vars)
+    solver.add_clauses(clauses)
+    reductions = 0
+    for trial in range(20):
+        assumptions = [
+            v if rng.random() < 0.5 else -v
+            for v in rng.sample(range(1, num_vars + 1), 3)
+        ]
+        result = solver.solve(assumptions=assumptions)
+        expected = brute_force(num_vars, clauses, assumptions)
+        assert (result.status == SAT) == expected
+        if result.status == SAT:
+            model = result.assignment
+            assert all(
+                any(model[abs(q)] == (q > 0) for q in clause)
+                for clause in clauses
+            )
+            assert all(model[abs(a)] == (a > 0) for a in assumptions)
+        else:
+            core = result.failed_assumptions
+            assert set(core) <= set(assumptions)
+            assert not brute_force(num_vars, clauses, core)
+        reductions += result.metrics["db_reductions"]
+    assert reductions > 0, "reduction schedule never fired"
+
+
+def test_deterministic_across_runs():
+    def run():
+        rng = random.Random(11)
+        solver = IncrementalSolver()
+        solver.add_vars(25)
+        for _ in range(90):
+            solver.add_clause([
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 26), 3)
+            ])
+        trace = []
+        for _ in range(6):
+            assumptions = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 26), 3)
+            ]
+            result = solver.solve(assumptions=assumptions)
+            stats = result.metrics.as_dict()
+            stats.pop("seconds", None)  # the only wall-clock counter
+            trace.append((result.status, result.assignment, stats))
+        return trace
+
+    assert run() == run()
+
+
+def test_backtrack_limit_then_unlimited_resolve():
+    solver = IncrementalSolver()
+    pigeonhole(solver, 6, 5)
+    limited = solver.solve(limits=Limits(max_backtracks=2))
+    assert limited.status == LIMIT
+    finished = solver.solve()
+    assert finished.status == UNSAT
+    assert finished.failed_assumptions == ()
+
+
+def test_from_cnf():
+    cnf = Cnf()
+    x, y = cnf.new_var(), cnf.new_var()
+    cnf.add_clause([x, y])
+    cnf.add_clause([-x, -y])
+    solver = IncrementalSolver.from_cnf(cnf)
+    assert solver.num_vars == cnf.num_vars
+    result = solver.solve()
+    assert result.status == SAT
+    assert result.assignment[x] != result.assignment[y]
+    assert result.metrics["incremental_solves"] == 1
+
+
+def test_wall_clock_checked_on_decisions(monkeypatch):
+    # A conflict-free instance: without the decision-stride check the
+    # solver would only consult the clock on conflicts and run to SAT.
+    class ExpiredStopwatch:
+        def __init__(self, clock=None):
+            pass
+
+        def elapsed(self):
+            return 1e9
+
+        def exceeded(self, max_seconds):
+            return max_seconds is not None
+
+    monkeypatch.setattr(
+        "repro.sat.incremental.Stopwatch", ExpiredStopwatch
+    )
+    solver = IncrementalSolver()
+    solver.add_vars(300)
+    for v in range(1, 300, 2):
+        solver.add_clause([v, v + 1])
+    result = solver.solve(limits=Limits(max_seconds=0.001))
+    assert result.status == LIMIT

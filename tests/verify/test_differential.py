@@ -44,6 +44,12 @@ def _synthesise_modular_cached(graph, tmp_path):
     return modular_synthesis(graph, options=options)  # warm
 
 
+def _synthesise_modular_oneshot(graph):
+    return modular_synthesis(
+        graph, options=SynthesisOptions(minimize=True, sat_mode="oneshot")
+    )
+
+
 def _synthesise_direct(graph):
     return direct_synthesis(graph, options=SynthesisOptions(minimize=True))
 
@@ -55,6 +61,7 @@ def _synthesise_lavagno(graph):
 METHODS = {
     "modular": _synthesise_modular,
     "modular-jobs2": _synthesise_modular_jobs,
+    "modular-oneshot": _synthesise_modular_oneshot,
     "direct": _synthesise_direct,
     "lavagno": _synthesise_lavagno,
 }
@@ -105,6 +112,26 @@ def test_warm_cache_differential(tmp_path):
         check_synthesis(source, graph, result)
 
 
+@pytest.mark.parametrize("name", DIFFERENTIAL_BENCHMARKS)
+def test_sat_modes_agree(name):
+    # The incremental solver must be a pure accelerant: the same final
+    # state-signal count as the cold one-shot loop, and rows that pass
+    # the full behavioural contract.
+    stg = load_benchmark(name)
+    graph = build_state_graph(stg)
+    per_mode = {}
+    for mode in ("incremental", "oneshot"):
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=True, sat_mode=mode)
+        )
+        check_synthesis(stg, graph, result)
+        per_mode[mode] = result
+    assert (
+        len(per_mode["incremental"].assignment.names)
+        == len(per_mode["oneshot"].assignment.names)
+    ), "sat modes disagree on the number of inserted state signals"
+
+
 @settings(
     max_examples=8,
     deadline=None,
@@ -116,5 +143,11 @@ def test_fuzzed_controllers_differential(text):
     if stg is None:
         return
     graph = build_state_graph(stg)
-    for method in ("modular", "modular-jobs2", "direct"):
-        check_synthesis(stg, graph, METHODS[method](graph))
+    signals = {}
+    for method in ("modular", "modular-jobs2", "modular-oneshot", "direct"):
+        result = METHODS[method](graph)
+        check_synthesis(stg, graph, result)
+        signals[method] = len(result.assignment.names)
+    assert signals["modular"] == signals["modular-oneshot"], (
+        "sat modes disagree on the number of inserted state signals"
+    )

@@ -1,0 +1,243 @@
+"""Measure and record the incremental SAT core's cold-run speedup.
+
+Usage::
+
+    python tools/bench_sat.py [--names A,B,...] [--repeat N]
+                              [--out-dir DIR]
+    python tools/bench_sat.py --check BENCH_sat_incremental.json
+
+Times :func:`repro.csc.synthesis.modular_synthesis` over the Table-1
+suite twice cold -- ``sat_mode="oneshot"`` (a fresh engine per formula,
+the paper-faithful baseline) and ``sat_mode="incremental"`` (one
+assumption-based solver per grow-``m`` loop) -- with ``minimize`` and
+``polish`` off, so the SAT attempts are the dominant cost and the
+number is about the solver, not the cover minimiser.  Both passes must
+insert the same number of state signals on every benchmark
+(``signals_agree``).  Writes ``BENCH_sat_incremental.json``
+(schema ``repro-sat-bench/1``)::
+
+    {
+      "schema": "repro-sat-bench/1",
+      "cores": int,                  # os.cpu_count() where measured
+      "repeat": int,                 # timing passes (best-of)
+      "scope": "synthesis only (minimize/polish off)",
+      "benchmarks": [str, ...],
+      "oneshot_seconds": number,
+      "incremental_seconds": number,
+      "speedup": number,             # oneshot / incremental
+      "signals_agree": bool,         # same signal count per benchmark
+      "incremental_solves": int,     # solver calls served incrementally
+      "learned_kept": int,           # learned clauses carried forward
+      "oneshot_fallbacks": int       # attempts retried one-shot
+    }
+
+``--check`` validates an existing artifact instead: structural schema
+plus the thresholds the repository commits to -- ``signals_agree`` and
+``speedup >= 1.3`` (the cold-suite floor of ISSUE 5).
+
+Run with ``src`` on ``PYTHONPATH`` (the script bootstraps it when
+invoked from a checkout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
+
+SCHEMA = "repro-sat-bench/1"
+SCOPE = "synthesis only (minimize/polish off)"
+SPEEDUP_FLOOR = 1.3
+
+_NUMBER_FIELDS = ("oneshot_seconds", "incremental_seconds", "speedup")
+_COUNTER_FIELDS = ("incremental_solves", "learned_kept",
+                   "oneshot_fallbacks")
+
+
+def _options(sat_mode):
+    from repro.runtime.options import SynthesisOptions
+
+    return SynthesisOptions(minimize=False, polish=False, sat_mode=sat_mode)
+
+
+def _run_suite(names, sat_mode):
+    """One cold pass; returns (wall_seconds, {name: signals_inserted})."""
+    from repro.bench.suite import load_benchmark
+    from repro.csc.synthesis import modular_synthesis
+
+    signals = {}
+    start = time.perf_counter()
+    for name in names:
+        stg = load_benchmark(name)
+        result = modular_synthesis(stg, options=_options(sat_mode))
+        signals[name] = len(result.assignment.names)
+    return time.perf_counter() - start, signals
+
+
+def _counter_totals(names):
+    """Untimed traced pass collecting the incremental counters."""
+    from repro import obs
+
+    tracer = obs.install(obs.Tracer())
+    try:
+        _run_suite(names, "incremental")
+    finally:
+        obs.uninstall()
+    return tracer.counter_totals()
+
+
+def measure(names, repeat):
+    """Time both modes; returns the artifact document."""
+
+    def best(sat_mode):
+        seconds, signals = None, None
+        for _ in range(repeat):
+            elapsed, pass_signals = _run_suite(names, sat_mode)
+            if seconds is None or elapsed < seconds:
+                seconds, signals = elapsed, pass_signals
+        return seconds, signals
+
+    oneshot_seconds, oneshot_signals = best("oneshot")
+    incremental_seconds, incremental_signals = best("incremental")
+    totals = _counter_totals(names)
+
+    return {
+        "schema": SCHEMA,
+        "cores": os.cpu_count() or 1,
+        "repeat": repeat,
+        "scope": SCOPE,
+        "benchmarks": list(names),
+        "oneshot_seconds": round(oneshot_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup": round(oneshot_seconds / incremental_seconds, 3),
+        "signals_agree": oneshot_signals == incremental_signals,
+        "incremental_solves": int(totals.get("incremental_solves", 0)),
+        "learned_kept": int(totals.get("learned_kept", 0)),
+        "oneshot_fallbacks": int(totals.get("oneshot_fallbacks", 0)),
+    }
+
+
+def check_document(document):
+    """Problem strings for one artifact (empty list = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for field in ("cores", "repeat"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 1:
+            problems.append(f"{field} missing or not a positive int")
+    benchmarks = document.get("benchmarks")
+    if (not isinstance(benchmarks, list) or not benchmarks
+            or not all(isinstance(n, str) for n in benchmarks)):
+        problems.append("benchmarks missing or not a list of names")
+    for field in _NUMBER_FIELDS:
+        value = document.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{field} missing or not a number")
+        elif value <= 0:
+            problems.append(f"{field} is not positive: {value!r}")
+    for field in _COUNTER_FIELDS:
+        value = document.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"{field} missing or not a counter")
+    if document.get("signals_agree") is not True:
+        problems.append("signals_agree is not true: the sat modes "
+                        "disagreed on inserted state signals")
+    if problems:
+        return problems
+
+    if document["incremental_solves"] < 1:
+        problems.append("incremental_solves is 0: the incremental pass "
+                        "never ran the incremental solver")
+    speedup = document["speedup"]
+    if speedup < SPEEDUP_FLOOR:
+        problems.append(
+            f"speedup {speedup} below floor {SPEEDUP_FLOOR}"
+        )
+    return problems
+
+
+def _check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        problems = [f"cannot read: {exc}"]
+    except ValueError as exc:
+        problems = [f"not valid JSON: {exc}"]
+    else:
+        problems = check_document(document)
+    if problems:
+        print(f"{path}: INVALID", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{path}: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing artifact instead of measuring",
+    )
+    parser.add_argument(
+        "--names", default=None,
+        help="comma-separated benchmark subset (default: whole suite)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="timing passes per mode, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory for BENCH_sat_incremental.json (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _check(args.check)
+
+    if args.names:
+        names = [n.strip() for n in args.names.split(",") if n.strip()]
+    else:
+        from repro.bench.suite import BENCHMARKS
+
+        names = sorted(BENCHMARKS)
+    document = measure(names, max(1, args.repeat))
+    path = os.path.join(args.out_dir, "BENCH_sat_incremental.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print(
+        f"  cores={document['cores']} "
+        f"oneshot={document['oneshot_seconds']:.2f}s "
+        f"incremental={document['incremental_seconds']:.2f}s "
+        f"speedup={document['speedup']}"
+    )
+    print(
+        f"  signals_agree={document['signals_agree']} "
+        f"incremental_solves={document['incremental_solves']} "
+        f"learned_kept={document['learned_kept']} "
+        f"oneshot_fallbacks={document['oneshot_fallbacks']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
