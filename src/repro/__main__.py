@@ -23,6 +23,11 @@ Options:
                                       (modular method; default 1)
 ``--cache-dir PATH``                  persistent result cache directory
 ``--no-cache``                        ignore ``--cache-dir``
+``--cache-max-bytes N``               LRU size bound on the result cache
+``--retries N``                       supervised retry budget per module
+                                      (worker death/overrun; default 2)
+``--retry-backoff SECONDS``           base backoff before the first
+                                      retry round (default 0.05)
 ``--blif PATH``                       write the circuit netlist
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
@@ -108,6 +113,21 @@ def main(argv=None):
         "--no-cache", action="store_true",
         help="ignore --cache-dir for this run",
     )
+    parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-used result-cache records past N "
+             "total bytes (default: unbounded)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="resubmissions of a module whose worker died or overran "
+             "before it is re-solved serially (modular --jobs > 1)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base delay before the first retry round; later rounds "
+             "double it (deterministic jitter)",
+    )
     parser.add_argument("--blif", metavar="PATH", default=None)
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -157,6 +177,9 @@ def _run(args, stg, tracer):
         engine=args.engine, sat_mode=args.sat_mode, budget=budget,
         fallback=not args.no_fallback, degrade=not args.no_fallback,
         jobs=max(1, args.jobs), cache_dir=cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        retries=max(0, args.retries),
+        retry_backoff=max(0.0, args.retry_backoff),
     )
     report = run_synthesis(stg, method=args.method, options=options)
 

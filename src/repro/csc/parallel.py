@@ -31,10 +31,27 @@ exception) travels back as data and enters the serial ``degrade=`` path
 at that output's turn, and a worker budget exhaustion re-raises
 :class:`~repro.runtime.budget.BudgetExhaustedError` in the parent.
 
-Fault injection (``module-solve``) is consulted *parent-side* at
-dispatch, in output order -- worker processes clear the inherited fault
-registry -- so armed faults fire deterministically regardless of
-worker scheduling.
+Dispatch is **supervised** (:class:`~repro.runtime.supervise.
+SupervisedPool`): a worker killed by the OS, a stuck worker past the
+per-task allowance, or a pool that breaks mid-batch does not surface as
+a ``BrokenProcessPool`` traceback.  The pool is respawned, the affected
+modules are resubmitted with deterministic exponential backoff
+(``options.retries`` / ``options.retry_backoff``), and a module that
+exhausts its retry budget comes back tagged :data:`PREPARED_RESCUE` --
+the merge loop then re-solves it serially in the parent (a *serial
+rescue*), which is bit-identical to what the serial loop would have
+produced, before anything can enter the ``degrade=`` path.  An
+infrastructure failure the supervisor cannot contain is re-raised as a
+:class:`~repro.runtime.supervise.WorkerCrashError`
+(``kind="worker"``), never a raw executor traceback.
+
+Fault injection (``module-solve``, ``worker-crash``) is consulted
+*parent-side* at dispatch, in output order -- worker processes clear
+the inherited fault registry -- so armed faults fire deterministically
+regardless of worker scheduling.  A ``worker-crash`` shot marks one
+output whose worker then genuinely dies (``os._exit``) on the first
+attempt, driving the real ``BrokenProcessPool`` recovery path rather
+than a simulation of it.
 
 Tracing: when the parent has a tracer installed, every worker traces
 its own solves into an in-memory journal; the parent folds the
@@ -46,6 +63,7 @@ segment, the same shape the parallel bench runner produces.
 from __future__ import annotations
 
 import io
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro import obs
@@ -55,11 +73,18 @@ from repro.csc.modular import partition_sat
 from repro.obs.tracer import Tracer
 from repro.runtime.budget import BudgetExhaustedError
 from repro.runtime.faults import should_fire as _fault_fires
+from repro.runtime.supervise import (
+    OUTCOME_OK,
+    RetryPolicy,
+    SupervisedPool,
+    SuperviseStats,
+)
 
 #: ``prepared`` entry tags (see :func:`prepare_parallel`).
 PREPARED_PARTITION = "partition"
 PREPARED_ERROR = "error"
 PREPARED_BUDGET = "budget"
+PREPARED_RESCUE = "rescue"
 
 
 # -- worker side -----------------------------------------------------------
@@ -78,7 +103,7 @@ def _init_worker(graph, params, budget_slice, trace):
     from repro.perf import ProjectionCache
     from repro.runtime import faults
 
-    faults.clear()
+    faults.clear(env=True)
     _worker["graph"] = graph
     _worker["params"] = params
     _worker["budget"] = (
@@ -88,7 +113,7 @@ def _init_worker(graph, params, budget_slice, trace):
     _worker["trace"] = trace
 
 
-def _solve_one(output, input_set):
+def _solve_one(output, input_set, die=False, attempt=0):
     """Solve one output's module against the empty assignment.
 
     Returns a plain dict (everything picklable):
@@ -102,7 +127,15 @@ def _solve_one(output, input_set):
       the same string the serial path would record;
     * ``{"status": "budget", ...}`` -- this worker's budget slice is
       exhausted.
+
+    ``die`` is set by the parent when a ``worker-crash`` fault fired
+    for this output at dispatch: the worker process exits hard --
+    exactly the shape of an OS kill -- on the first attempt only, so
+    the supervised retry then succeeds.  ``attempt`` is appended by
+    :class:`~repro.runtime.supervise.SupervisedPool`.
     """
+    if die and attempt == 0:
+        os._exit(43)
     graph = _worker["graph"]
     params = _worker["params"]
     budget = _worker["budget"]
@@ -180,8 +213,8 @@ def _finish(payload, budget, used_before, tracer, buffer):
 
 def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
                      signal_prefix, engine, budget, fallback, jobs,
-                     sat_mode="incremental"):
-    """Solve the listed outputs' modules on a worker pool.
+                     sat_mode="incremental", policy=None):
+    """Solve the listed outputs' modules on a supervised worker pool.
 
     Parameters
     ----------
@@ -198,10 +231,13 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
         here as results arrive.
     jobs:
         Worker process count (>= 2; the serial loop handles 1).
+    policy:
+        The :class:`~repro.runtime.supervise.RetryPolicy` governing
+        crash recovery; defaults to ``RetryPolicy()``.
 
     Returns
     -------
-    dict
+    (dict, SuperviseStats)
         ``{output: entry}`` where ``entry`` is one of
 
         * ``(PREPARED_PARTITION, PartitionResult)`` -- solved at
@@ -209,10 +245,19 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
         * ``(PREPARED_ERROR, exception)`` -- the module failed (or an
           armed ``module-solve`` fault fired at dispatch);
         * ``(PREPARED_BUDGET, message, resource, point)`` -- that
-          worker's budget slice ran out.
+          worker's budget slice ran out;
+        * ``(PREPARED_RESCUE, exception)`` -- the module's worker kept
+          dying past the retry budget; the merge loop must re-solve it
+          serially in the parent.
+
+        The :class:`~repro.runtime.supervise.SuperviseStats` records
+        worker deaths, pool respawns and per-output retry counts for
+        the :class:`~repro.runtime.report.RunReport`.
     """
     prepared = {}
+    stats = SuperviseStats()
     to_dispatch = []
+    crash_marked = set()
     for output in outputs:
         # The parent owns fault shots: deterministic in output order,
         # independent of worker scheduling (workers clear the registry).
@@ -221,9 +266,11 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
                 f"injected fault: modular solve failed for {output!r}"
             ))
             continue
+        if _fault_fires("worker-crash", detail=output):
+            crash_marked.add(output)
         to_dispatch.append(output)
     if not to_dispatch:
-        return prepared
+        return prepared, stats
 
     trace = obs.enabled()
     params = {
@@ -235,26 +282,43 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
         "sat_mode": sat_mode,
     }
     workers = min(jobs, len(to_dispatch))
-    budget_slice = budget.split(workers)[0] if budget is not None else None
-    with obs.span("module_parallel", jobs=workers,
-                  modules=len(to_dispatch)) as span:
-        with ProcessPoolExecutor(
+
+    def factory():
+        # Re-read the parent budget at every (re)spawn, so workers on a
+        # respawned pool inherit the *remaining* allowance, not the one
+        # from before the crash.
+        budget_slice = (
+            budget.split(workers)[0] if budget is not None else None
+        )
+        return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(graph, params, budget_slice, trace),
-        ) as pool:
-            futures = {
-                output: pool.submit(_solve_one, output, basis[output])
-                for output in to_dispatch
-            }
-            for output in to_dispatch:
-                payload = futures[output].result()
+        )
+
+    supervisor = SupervisedPool(
+        factory,
+        policy=policy if policy is not None else RetryPolicy(),
+        budget=budget,
+    )
+    tasks = {
+        output: (output, basis[output], output in crash_marked)
+        for output in to_dispatch
+    }
+    with obs.span("module_parallel", jobs=workers,
+                  modules=len(to_dispatch)) as span:
+        outcomes, stats = supervisor.run(_solve_one, tasks)
+        for output in to_dispatch:
+            tag, value = outcomes[output]
+            if tag == OUTCOME_OK:
                 prepared[output] = _absorb_payload(
-                    payload, output, graph, budget
+                    value, output, graph, budget
                 )
+            else:
+                prepared[output] = (PREPARED_RESCUE, value)
         span.add("parallel_modules", len(to_dispatch))
     obs.add("parallel_runs")
-    return prepared
+    return prepared, stats
 
 
 def _absorb_payload(payload, output, graph, budget):

@@ -212,7 +212,7 @@ def modular_synthesis(stg, options=None, **legacy):
             options_fingerprint,
         )
 
-        rcache = ResultCache(opts.cache_dir)
+        rcache = ResultCache(opts.cache_dir, max_bytes=opts.cache_max_bytes)
         opts_fp = options_fingerprint(opts, "modular")
         if isinstance(stg, StateGraph):
             base_fp = graph_fingerprint(stg)
@@ -240,14 +240,18 @@ def modular_synthesis(stg, options=None, **legacy):
     if unknown:
         raise ValueError(f"not non-input signals: {sorted(unknown)}")
 
-    prepared, basis, module_keys = _prepare_modules(
+    prepared, basis, module_keys, sup_stats = _prepare_modules(
         graph, outputs, prescan, cache, rcache, base_fp, opts_fp,
         limits=limits, max_signals=max_signals,
         signal_prefix=signal_prefix, engine=engine, budget=budget,
         fallback=fallback, jobs=jobs, sat_mode=sat_mode,
+        retries=opts.retries, retry_backoff=opts.retry_backoff,
     )
 
     report = RunReport(method="modular", engine=engine)
+    if sup_stats is not None:
+        report.worker_deaths = sup_stats.worker_deaths
+        report.pool_respawns = sup_stats.pool_respawns
     assignment = Assignment.empty(graph.num_states)
     modules = []
     try:
@@ -264,6 +268,7 @@ def modular_synthesis(stg, options=None, **legacy):
                 prepared=prepared, basis=basis, rcache=rcache,
                 rkey=module_keys.get(output),
                 cacheable=rcache is not None and _cache_safe(budget),
+                recovery=sup_stats,
             )
 
         with obs.span("repair"):
@@ -316,10 +321,11 @@ def modular_synthesis(stg, options=None, **legacy):
 def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
                      opts_fp, *, limits, max_signals, signal_prefix,
                      engine, budget, fallback, jobs,
-                     sat_mode="incremental"):
+                     sat_mode="incremental", retries=2,
+                     retry_backoff=0.05):
     """Pre-solve modules from the result cache and/or a worker pool.
 
-    Returns ``(prepared, basis, module_keys)``:
+    Returns ``(prepared, basis, module_keys, sup_stats)``:
 
     * ``prepared`` -- ``{output: entry}`` in the
       :mod:`repro.csc.parallel` entry format, empty for the plain
@@ -328,16 +334,20 @@ def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
       assignment (the adoption test of the merge loop compares against
       these), or ``None`` on the plain serial path;
     * ``module_keys`` -- per-output result-cache keys, for storing
-      serial solves on the way out.
+      serial solves on the way out;
+    * ``sup_stats`` -- the dispatch's
+      :class:`~repro.runtime.supervise.SuperviseStats` (``None`` when no
+      pool ran), for the run report's recovery bookkeeping.
 
     Cache lookups come first, then the ``module-solve`` fault check and
     worker dispatch for the remainder -- all in the fixed output order,
     so fault shots and cache counters land deterministically.
     """
     if jobs <= 1 and rcache is None:
-        return {}, None, {}
+        return {}, None, {}, None
     from repro.csc.parallel import PREPARED_PARTITION, prepare_parallel
     from repro.perf.result_cache import ResultCache
+    from repro.runtime.supervise import RetryPolicy
 
     empty = Assignment.empty(graph.num_states)
     basis = dict(prescan)
@@ -363,14 +373,17 @@ def _prepare_modules(graph, outputs, prescan, cache, rcache, base_fp,
                 remaining.append(output)
         to_solve = remaining
 
+    sup_stats = None
     if jobs > 1 and to_solve:
-        prepared.update(prepare_parallel(
+        dispatched, sup_stats = prepare_parallel(
             graph, to_solve, basis, limits=limits,
             max_signals=max_signals, signal_prefix=signal_prefix,
             engine=engine, budget=budget, fallback=fallback, jobs=jobs,
             sat_mode=sat_mode,
-        ))
-    return prepared, basis, module_keys
+            policy=RetryPolicy(retries=retries, backoff=retry_backoff),
+        )
+        prepared.update(dispatched)
+    return prepared, basis, module_keys, sup_stats
 
 
 def _cache_safe(budget):
@@ -437,7 +450,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
                   limits, max_signals, signal_prefix, engine, budget,
                   fallback, degrade, cache=None, prescan=None,
                   prepared=None, basis=None, rcache=None, rkey=None,
-                  cacheable=False, sat_mode="incremental"):
+                  cacheable=False, sat_mode="incremental", recovery=None):
     """One output's modular pass, degrading per policy on failure.
 
     Returns the extended assignment and appends to ``modules`` /
@@ -454,13 +467,28 @@ def _solve_module(graph, output, assignment, modules, report, *,
     a sequentially-dependent module falls through to the normal serial
     solve.  Worker errors enter the same ``degrade`` path a serial
     solve failure would, and worker budget exhaustion re-raises here.
+
+    A ``PREPARED_RESCUE`` entry (the supervised dispatch ran out of
+    retries for this module's worker) is the *serial rescue*: the
+    module falls through to the normal serial solve right here, which
+    is bit-identical to what the serial loop would have produced --
+    infrastructure failures never reach the ``degrade`` path.
+
+    ``recovery`` is the dispatch's
+    :class:`~repro.runtime.supervise.SuperviseStats`; its per-output
+    retry/respawn tallies ride into this module's report entry.
     """
     from repro.csc.parallel import (
         PREPARED_BUDGET,
         PREPARED_ERROR,
         PREPARED_PARTITION,
+        PREPARED_RESCUE,
         rename_partition,
     )
+
+    retries = recovery.retries.get(output, 0) if recovery else 0
+    respawns = recovery.respawns.get(output, 0) if recovery else 0
+    rescued = False
 
     with obs.span("module", output=output) as module_span:
         with obs.span("input_set", output=output) as input_span:
@@ -487,6 +515,13 @@ def _solve_module(graph, output, assignment, modules, report, *,
                 )
             if tag == PREPARED_ERROR:
                 cause = entry[1]
+            elif tag == PREPARED_RESCUE:
+                # The supervised pool exhausted this module's retries;
+                # re-solve it serially in the parent instead of letting
+                # an infrastructure failure degrade the circuit.
+                rescued = True
+                obs.add("serial_rescues")
+                module_span.set("rescued", True)
             elif tag == PREPARED_PARTITION:
                 if _reusable(input_set, basis.get(output), assignment):
                     partition = rename_partition(
@@ -527,6 +562,7 @@ def _solve_module(graph, output, assignment, modules, report, *,
                 limits=limits, max_signals=max_signals,
                 signal_prefix=signal_prefix, engine=engine, budget=budget,
                 fallback=fallback, sat_mode=sat_mode,
+                retries=retries, respawns=respawns,
             )
             module_span.set("status", report.modules[-1].status)
             return assignment
@@ -538,7 +574,8 @@ def _solve_module(graph, output, assignment, modules, report, *,
         modules.append(ModuleReport(output, input_set, partition))
         report.add_module(
             output, MODULE_OK, signals_added=partition.signals_added,
-            escalations=escalations,
+            escalations=escalations, retries=retries, respawns=respawns,
+            rescued=rescued,
         )
         module_span.set("status", MODULE_OK)
         module_span.add("signals_added", partition.signals_added)
@@ -547,7 +584,8 @@ def _solve_module(graph, output, assignment, modules, report, *,
 
 def _degrade_module(graph, output, assignment, report, cause, *,
                     limits, max_signals, signal_prefix, engine, budget,
-                    fallback, sat_mode="incremental"):
+                    fallback, sat_mode="incremental", retries=0,
+                    respawns=0):
     """Per-output direct sub-solve on the full graph (degraded mode).
 
     The modular pass failed for this output; instead of aborting the
@@ -575,6 +613,7 @@ def _degrade_module(graph, output, assignment, report, cause, *,
         report.add_module(
             output, MODULE_SKIPPED,
             detail=f"{cause}; direct sub-solve failed: {exc}",
+            retries=retries, respawns=respawns,
         )
         return assignment
     names = [
@@ -587,6 +626,7 @@ def _degrade_module(graph, output, assignment, report, cause, *,
     report.add_module(
         output, MODULE_DEGRADED, detail=str(cause),
         signals_added=outcome.m, escalations=escalations,
+        retries=retries, respawns=respawns,
     )
     return assignment.extended(names, outcome.rows)
 

@@ -12,6 +12,9 @@ of them can see alone: the **whole run**.
   inputs.
 * :mod:`repro.runtime.report` -- :class:`RunReport` with per-module
   ``ok | degraded | skipped`` statuses and the CLI exit-code mapping.
+* :mod:`repro.runtime.supervise` -- :class:`SupervisedPool`, the
+  crash-supervised executor wrapper (worker death, per-task overrun,
+  deterministic retry/backoff) behind the parallel module dispatch.
 * :mod:`repro.runtime.run` -- :func:`run_synthesis`, the budgeted
   orchestrator the command line drives.
 
@@ -36,12 +39,24 @@ from repro.runtime.report import (
     ModuleStatus,
     RunReport,
 )
+from repro.runtime.supervise import (
+    ModuleOverrunError,
+    RetryPolicy,
+    SupervisedPool,
+    SuperviseStats,
+    WorkerCrashError,
+)
 from repro.runtime import faults
 
 __all__ = [
     "Budget",
     "BudgetExhaustedError",
     "BudgetSlice",
+    "ModuleOverrunError",
+    "RetryPolicy",
+    "SupervisedPool",
+    "SuperviseStats",
+    "WorkerCrashError",
     "EXIT_CODES",
     "OPTION_FIELDS",
     "SynthesisOptions",

@@ -27,6 +27,35 @@ Injection points
     :func:`repro.csc.modular.partition_sat` raises
     :class:`~repro.csc.errors.SynthesisError` for one output's module.
     ``detail`` is the output signal name.
+``worker-crash``
+    The parallel dispatch (:mod:`repro.csc.parallel`) instructs one
+    module's worker process to die with ``os._exit`` on its first
+    attempt -- a *real* SIGKILL-shaped death that exercises the
+    ``BrokenProcessPool`` recovery of
+    :class:`~repro.runtime.supervise.SupervisedPool`, not a simulation
+    of it.  ``detail`` is the output signal name.  Consulted
+    parent-side at first dispatch only, so retries of the crashed
+    module succeed.
+``cache-corrupt-record``
+    :meth:`repro.perf.result_cache.ResultCache.get` treats the record
+    it just read as corrupt: the stale self-heal path runs against a
+    byte-good record.  ``detail`` is the record kind.
+``cache-io-error``
+    :class:`~repro.perf.result_cache.ResultCache` fails one filesystem
+    operation as an :class:`OSError` would: a ``get`` becomes a counted
+    I/O miss, a ``put`` is skipped.  ``detail`` is ``"get"`` or
+    ``"put"``.
+
+Environment arming (``REPRO_FAULTS``)
+-------------------------------------
+CI's fault matrix arms points for a *whole test run* through the
+``REPRO_FAULTS`` environment variable: a comma-separated list of
+``point`` or ``point:times`` entries (``times`` omitted = unlimited
+shots), parsed by :func:`load_env` at import.  Env-armed faults live in
+their own registry so per-test :func:`clear` fixtures -- which exist
+for test isolation -- do not silently disarm the matrix; use
+``clear(env=True)`` to drop them too (worker processes do, since
+faults are the parent's to fire).
 
 This module is deliberately a leaf (no :mod:`repro` imports) so every
 layer can consult it without cycles.
@@ -34,6 +63,7 @@ layer can consult it without cycles.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 #: The names the pipeline is instrumented with.
@@ -43,9 +73,16 @@ POINTS = (
     "bdd-blowup",
     "parse-error",
     "module-solve",
+    "worker-crash",
+    "cache-corrupt-record",
+    "cache-io-error",
 )
 
+#: Environment variable :func:`load_env` reads.
+ENV_VAR = "REPRO_FAULTS"
+
 _active = {}
+_env_active = {}
 
 
 class FaultSpec:
@@ -91,12 +128,58 @@ def inject(point, times=1, match=None):
     return spec
 
 
-def clear(point=None):
-    """Disarm one point, or every point when ``point`` is ``None``."""
+def clear(point=None, env=False):
+    """Disarm one point, or every point when ``point`` is ``None``.
+
+    Environment-armed faults (:func:`load_env`) survive by default so a
+    test fixture's ``clear()`` cannot silently disarm a CI fault
+    matrix; pass ``env=True`` to drop them too.
+    """
     if point is None:
         _active.clear()
+        if env:
+            _env_active.clear()
     else:
         _active.pop(point, None)
+        if env:
+            _env_active.pop(point, None)
+
+
+def load_env(spec=None):
+    """Arm faults from a ``REPRO_FAULTS``-style specification string.
+
+    ``spec`` is a comma-separated list of ``point`` or ``point:times``
+    entries; omitted ``times`` means unlimited shots.  ``None`` reads
+    :data:`ENV_VAR` from the environment.  Replaces any previously
+    env-armed faults and returns the new :class:`FaultSpec` handles.
+    Unknown points and malformed shot counts raise :class:`ValueError`
+    -- a typo in a CI matrix should fail loudly, not silently test
+    nothing.
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "")
+    _env_active.clear()
+    specs = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        point, _, times_text = item.partition(":")
+        point = point.strip()
+        if times_text.strip() == "":
+            times = None
+        else:
+            try:
+                times = int(times_text)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_VAR}: bad shot count {times_text!r} for "
+                    f"point {point!r}"
+                ) from None
+        handle = FaultSpec(point, times=times)
+        _env_active[point] = handle
+        specs.append(handle)
+    return specs
 
 
 @contextmanager
@@ -114,19 +197,34 @@ def should_fire(point, detail=None):
     """Consult the registry at an instrumented site.
 
     Returns True (and consumes one shot) when an armed fault matches;
-    the no-fault fast path is a single dict lookup.
+    the no-fault fast path is two dict lookups.  Test-armed faults
+    (:func:`inject`) take precedence over env-armed ones
+    (:func:`load_env`) for the same point.
     """
-    spec = _active.get(point)
-    if spec is None or not spec.armed:
-        return False
-    if spec.match is not None and not spec.match(detail):
-        return False
-    spec._fire()
-    return True
+    for registry in (_active, _env_active):
+        spec = registry.get(point)
+        if spec is None or not spec.armed:
+            continue
+        if spec.match is not None and not spec.match(detail):
+            continue
+        spec._fire()
+        return True
+    return False
 
 
 def active():
-    """Snapshot of the armed points (for diagnostics)."""
-    return {
-        point: spec for point, spec in _active.items() if spec.armed
+    """Snapshot of the armed points (for diagnostics).
+
+    Merges both registries; a point armed in both shows the test-armed
+    spec (the one :func:`should_fire` consults first).
+    """
+    merged = {
+        point: spec for point, spec in _env_active.items() if spec.armed
     }
+    merged.update(
+        (point, spec) for point, spec in _active.items() if spec.armed
+    )
+    return merged
+
+
+load_env()

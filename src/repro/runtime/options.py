@@ -74,6 +74,24 @@ class SynthesisOptions:
         Directory of the persistent
         :class:`~repro.perf.result_cache.ResultCache`.  ``None`` (the
         default) disables cross-run caching.
+    cache_max_bytes:
+        Size bound on the persistent result cache.  After every store
+        the cache evicts least-recently-used records (by access time)
+        until the store fits.  ``None`` (the default) never evicts.
+        Like ``cache_dir``, a scheduling knob: it never changes what a
+        run produces, only what later runs find warm.
+    retries:
+        Supervised retry budget per module when ``jobs > 1``: how many
+        times a module whose worker died, overran, or failed to
+        dispatch is resubmitted (with deterministic exponential
+        backoff) before being re-solved serially in the parent.  ``0``
+        escalates straight to the serial rescue.  See
+        ``docs/robustness.md``.
+    retry_backoff:
+        Base backoff delay in seconds before the first retry round;
+        later rounds double it (capped).  Deterministic -- the jitter
+        is seeded, so two runs of the same workload sleep the same
+        schedule.
     sat_mode:
         ``"incremental"`` (default) solves each grow-``m`` loop on one
         persistent assumption-based solver, carrying learned clauses
@@ -96,7 +114,10 @@ class SynthesisOptions:
     degrade: bool = False
     jobs: int = 1
     cache_dir: object = None
+    cache_max_bytes: object = None
     sat_mode: str = "incremental"
+    retries: int = 2
+    retry_backoff: float = 0.05
 
     def __post_init__(self):
         if self.output_order is not None:
@@ -107,6 +128,17 @@ class SynthesisOptions:
             raise ValueError(
                 f"sat_mode must be 'incremental' or 'oneshot', "
                 f"not {self.sat_mode!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, not {self.retries!r}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, not {self.retry_backoff!r}"
+            )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 0:
+            raise ValueError(
+                f"cache_max_bytes must be >= 0 or None, "
+                f"not {self.cache_max_bytes!r}"
             )
 
     def evolve(self, **changes):

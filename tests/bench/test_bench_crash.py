@@ -1,0 +1,150 @@
+"""The crash-recovery bench artifact and its validators agree."""
+
+import copy
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "tools",
+)
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(_TOOLS, name + ".py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_crash():
+    return _load("bench_crash")
+
+
+@pytest.fixture(scope="module")
+def schema_check():
+    return _load("check_bench_schema")
+
+
+def _valid_document():
+    return {
+        "schema": "repro-crash-bench/1",
+        "cores": 1,
+        "jobs": 2,
+        "repeat": 2,
+        "benchmarks": ["alloc-outbound", "nak-pa", "vbe-ex2"],
+        "serial_seconds": 2.5,
+        "clean_parallel_seconds": 3.0,
+        "faulted_parallel_seconds": 3.2,
+        "corrupted_records": 5,
+        "healed_records": 5,
+        "recovery": {
+            "worker_deaths": 1,
+            "module_retries": 1,
+            "pool_respawns": 1,
+            "serial_rescues": 0,
+        },
+        "recovery_overhead": 0.0667,
+        "identical": True,
+    }
+
+
+def test_valid_document_passes_both_validators(bench_crash, schema_check):
+    document = _valid_document()
+    assert bench_crash.check_document(document) == []
+    problems = []
+    schema_check.check_document(document, problems)
+    assert problems == []
+
+
+def test_thresholds_enforced_by_bench_tool_only(bench_crash, schema_check):
+    # Overhead at the ceiling: structurally fine, threshold-invalid.
+    document = _valid_document()
+    document["recovery_overhead"] = 0.25
+    assert any(
+        "recovery_overhead" in p
+        for p in bench_crash.check_document(document)
+    )
+    problems = []
+    schema_check.check_document(document, problems)
+    assert problems == []  # structure-only check does not own the ceiling
+
+
+def test_recovery_must_show_a_recovered_crash(bench_crash):
+    document = _valid_document()
+    document["recovery"]["worker_deaths"] = 0
+    assert any(
+        "worker_deaths" in p for p in bench_crash.check_document(document)
+    )
+    document = _valid_document()
+    document["recovery"]["module_retries"] = 0
+    document["recovery"]["serial_rescues"] = 0
+    assert any(
+        "module_retries" in p for p in bench_crash.check_document(document)
+    )
+    # A rescue instead of a retry also proves the module was re-solved.
+    document["recovery"]["serial_rescues"] = 1
+    assert bench_crash.check_document(document) == []
+
+
+def test_divergent_or_underfaulted_documents_rejected(bench_crash):
+    for mutate, needle in [
+        (lambda d: d.update(identical=False), "identical"),
+        (lambda d: d.update(corrupted_records=2), "corrupted_records"),
+        (lambda d: d.update(healed_records=0), "healed_records"),
+        (lambda d: d.update(schema="repro-crash-bench/999"), "schema"),
+        (lambda d: d.update(serial_seconds="fast"), "serial_seconds"),
+        (lambda d: d.pop("recovery"), "recovery"),
+    ]:
+        document = copy.deepcopy(_valid_document())
+        mutate(document)
+        problems = bench_crash.check_document(document)
+        assert any(needle in p for p in problems), (needle, problems)
+
+
+def test_structural_check_rejects_malformed_crash_documents(schema_check):
+    document = _valid_document()
+    document["jobs"] = 0
+    document["recovery"]["pool_respawns"] = -1
+    del document["recovery_overhead"]
+    problems = []
+    schema_check.check_document(document, problems)
+    assert any("jobs" in p for p in problems)
+    assert any("pool_respawns" in p for p in problems)
+    assert any("recovery_overhead" in p for p in problems)
+
+
+def test_schema_checker_dispatches_parallel_bench(schema_check, tmp_path):
+    document = {
+        "schema": "repro-parallel-bench/1",
+        "cores": 4, "jobs": 4, "repeat": 2,
+        "benchmarks": ["mmu0"],
+        "serial_seconds": 4.0, "parallel_seconds": 2.0,
+        "warm_seconds": 0.4,
+        "parallel_speedup": 2.0, "warm_cache_speedup": 10.0,
+        "identical": True,
+    }
+    path = tmp_path / "BENCH_parallel_modular.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    assert schema_check.check_file(str(path)) == []
+    document["warm_seconds"] = None
+    path.write_text(json.dumps(document), encoding="utf-8")
+    assert any("warm_seconds" in p for p in schema_check.check_file(str(path)))
+
+
+def test_committed_artifact_is_valid(bench_crash, schema_check):
+    path = os.path.join(os.path.dirname(_TOOLS), "BENCH_crash_recovery.json")
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert bench_crash.check_document(document) == []
+    problems = []
+    schema_check.check_document(document, problems)
+    assert problems == []
+    assert document["recovery"]["worker_deaths"] >= 1
+    assert document["corrupted_records"] >= bench_crash.MIN_CORRUPTED
+    assert document["identical"] is True

@@ -111,6 +111,65 @@ def test_worker_fault_without_degrade_raises():
             modular_synthesis(graph, options=SynthesisOptions(jobs=2))
 
 
+def test_worker_crash_is_retried_and_identical():
+    # A real worker death (os._exit in the child) mid-batch: the
+    # supervised dispatch respawns the pool, retries the module, and the
+    # run completes bit-identical to serial -- with the recovery on the
+    # record.
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    serial = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    with faults.injected("worker-crash", match=lambda output: output == "c"):
+        recovered = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=True, jobs=2)
+        )
+    assert observable(serial) == observable(recovered)
+    report = recovered.report
+    assert report.worker_deaths >= 1
+    # "c" was resubmitted -- as its own retry or as collateral of the
+    # breakage, depending on which broken future surfaced first (all of
+    # a dead pool's futures break together, so attribution is a race;
+    # the bucket split itself is pinned down in test_supervise.py).
+    entry = report.module("c")
+    assert entry.status == "ok"
+    assert entry.retries + entry.respawns >= 1
+    assert report.retried_modules
+    assert report.metrics["module_retries"] >= 1
+    assert report.metrics["worker_deaths"] >= 1
+    assert "retried" in report.summary()
+
+
+def test_worker_crash_with_zero_retries_is_rescued_serially():
+    # With no retry budget the module escalates straight to the serial
+    # rescue: re-solved in the parent, still ok, never degraded -- an
+    # infrastructure failure must not change the circuit.
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    serial = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    with faults.injected("worker-crash", match=lambda output: output == "c"):
+        rescued = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=True, jobs=2, retries=0)
+        )
+    assert observable(serial) == observable(rescued)
+    report = rescued.report
+    assert report.module("c").status == "ok"
+    assert report.module("c").rescued
+    assert report.rescued_modules
+    assert report.metrics["serial_rescues"] >= 1
+    assert "rescued" in report.summary()
+
+
+def test_crash_of_every_worker_module_still_completes():
+    # Unlimited-shot worker-crash: every dispatched module dies once,
+    # the pool respawns, every retry succeeds.
+    graph = build_state_graph(parse_g(CSC_CONFLICT))
+    serial = modular_synthesis(graph, options=SynthesisOptions(minimize=True))
+    with faults.injected("worker-crash", times=None):
+        recovered = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=True, jobs=2)
+        )
+    assert observable(serial) == observable(recovered)
+    assert recovered.report.worker_deaths >= 1
+
+
 def test_jobs_with_stg_input_identical():
     # The STG (rather than prebuilt graph) entry point takes the same
     # parallel path.

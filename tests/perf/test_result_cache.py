@@ -29,6 +29,19 @@ from repro.stg import parse_g
 from tests.example_stgs import ALL, CSC_CONFLICT
 
 
+@pytest.fixture(autouse=True)
+def _isolate_from_env_faults():
+    # This suite asserts exact hit/miss/stale sequences; a CI-armed
+    # cache fault (REPRO_FAULTS, the fault-matrix job) firing inside an
+    # assertion would falsify them.  The env-armed points keep their
+    # coverage in test_faults.py and the matrix's integration suites.
+    from repro.runtime import faults
+
+    faults.clear(env=True)
+    yield
+    faults.clear()
+
+
 # -- the store itself -------------------------------------------------------
 
 def test_roundtrip(tmp_path):
@@ -104,6 +117,157 @@ def test_unpicklable_payload_is_swallowed(tmp_path):
         if name.endswith(".tmp")
     ]
     assert leftovers == []
+
+
+def test_sharded_record_layout(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    path = cache._path("module", key)
+    # Two-level layout: <root>/<kind>/<first-two-hex>/<key>.rec
+    assert path == os.path.join(
+        str(tmp_path), "module", key[:2], key + ".rec"
+    )
+    assert os.path.exists(path)
+
+
+def test_stale_removal_tolerates_concurrent_deleter(tmp_path, monkeypatch):
+    # Another process healing the same stale record first must count as
+    # stale here too -- the record is gone either way.
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    path = cache._path("module", key)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+
+    real_remove = os.remove
+
+    def racing_remove(target, *args, **kwargs):
+        real_remove(target)  # the concurrent deleter wins ...
+        return real_remove(target)  # ... and ours sees FileNotFoundError
+
+    monkeypatch.setattr(os, "remove", racing_remove)
+    assert cache.get("module", key) is None
+    assert cache.stale == 1
+    assert not os.path.exists(path)
+
+
+def test_stale_removal_spares_concurrently_rewritten_record(tmp_path):
+    # The self-heal compares inodes before deleting: if a writer already
+    # replaced the corrupt record with a good one, the good record stays.
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "good")
+    path = cache._path("module", key)
+    good_inode = os.stat(path).st_ino
+    corrupt = path + ".corrupt"
+    with open(corrupt, "wb") as handle:
+        handle.write(b"not a pickle")
+    corrupt_inode = os.stat(corrupt).st_ino
+    assert corrupt_inode != good_inode
+    # Simulate "read the corrupt record, then a writer replaced it":
+    cache._discard_stale(path, corrupt_inode)
+    assert os.path.exists(path)
+    assert cache.get("module", key) == "good"
+
+
+def test_eviction_drops_lru_records(tmp_path):
+    cache = ResultCache(tmp_path, max_bytes=0)
+    keys = [ResultCache.key(str(n)) for n in range(3)]
+    # max_bytes=0: every put immediately evicts everything, oldest first.
+    for key in keys:
+        cache.put("module", key, "x" * 64)
+    assert cache.evictions == 3
+    assert all(cache.get("module", key) is None for key in keys)
+
+
+def test_eviction_keeps_recently_used_records(tmp_path):
+    cache = ResultCache(tmp_path)
+    old_key, new_key = ResultCache.key("old"), ResultCache.key("new")
+    cache.put("module", old_key, "x" * 256)
+    path = cache._path("module", old_key)
+    os.utime(path, (1, 1))  # age the first record far into the past
+    cache.put("module", new_key, "x" * 256)
+    size = os.path.getsize(cache._path("module", new_key))
+    assert cache.evict(max_bytes=size) == 1
+    assert cache.get("module", old_key) is None
+    assert cache.get("module", new_key) is not None
+
+
+def test_hit_touches_record_for_lru(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    path = cache._path("module", key)
+    os.utime(path, (1, 1))
+    cache.get("module", key)
+    info = os.stat(path)
+    assert max(info.st_atime, info.st_mtime) > 1
+
+
+def test_unbounded_evict_is_noop(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("module", ResultCache.key("x"), "payload")
+    assert cache.evict() == 0
+    assert cache.evictions == 0
+
+
+def test_max_bytes_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path, max_bytes=-1)
+
+
+def test_io_error_fault_on_get_is_counted_miss(tmp_path):
+    from repro.runtime import faults
+
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    with faults.injected("cache-io-error", match=lambda d: d == "get"):
+        assert cache.get("module", key) is None
+    assert cache.io_errors == 1
+    assert cache.misses == 1
+    assert cache.stale == 0  # an I/O failure is not a stale record
+    assert cache.get("module", key) == "payload"  # transient, not healed
+
+
+def test_io_error_fault_on_put_skips_store(tmp_path):
+    from repro.runtime import faults
+
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    with faults.injected("cache-io-error", match=lambda d: d == "put"):
+        assert not cache.put("module", key, "payload")
+    assert cache.io_errors == 1
+    assert cache.stores == 0
+    assert cache.get("module", key) is None
+
+
+def test_corrupt_record_fault_drives_self_heal(tmp_path):
+    from repro.runtime import faults
+
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key("x")
+    cache.put("module", key, "payload")
+    path = cache._path("module", key)
+    with faults.injected("cache-corrupt-record"):
+        assert cache.get("module", key) is None
+    assert cache.stale == 1
+    assert not os.path.exists(path)  # healed a byte-good record
+
+
+def test_stats_snapshot(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.stats()["hit_rate"] is None
+    key = ResultCache.key("x")
+    cache.get("module", key)
+    cache.put("module", key, "payload")
+    cache.get("module", key)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["stores"] == 1
+    assert stats["hit_rate"] == 0.5
 
 
 # -- fingerprints -----------------------------------------------------------

@@ -144,7 +144,9 @@ def test_slice_round_trips_through_pickle_and_starts():
     revived = pickle.loads(pickle.dumps(original))
     clock = FakeClock()
     live = revived.start(clock=clock)
-    assert live.max_seconds == pytest.approx(2.0)
+    # Loose tolerance: real wall-clock elapses between the parent
+    # Budget's construction and the split, shaving the slice's window.
+    assert live.max_seconds == pytest.approx(2.0, abs=0.05)
     assert live.max_states == 50
     assert live.max_backtracks == 30
     clock.advance(1.0)

@@ -43,9 +43,11 @@ def test_shots_are_bounded_and_counted():
 
 
 def test_injected_context_manager_disarms():
+    # Membership, not emptiness: the CI fault matrix may have armed
+    # unrelated points through REPRO_FAULTS.
     with faults.injected("parse-error"):
-        assert faults.active()
-    assert not faults.active()
+        assert "parse-error" in faults.active()
+    assert "parse-error" not in faults.active()
 
 
 def test_solver_limit_point_forces_limit():
@@ -110,3 +112,60 @@ def test_module_solve_point_degrades_when_allowed():
     from repro.stategraph import csc_conflicts
 
     assert csc_conflicts(result.expanded) == []
+
+
+# -- environment arming (the CI fault matrix) -------------------------------
+
+@pytest.fixture
+def _clean_env_registry():
+    yield
+    faults.clear(env=True)
+
+
+def test_load_env_parses_points_and_shot_counts(_clean_env_registry):
+    handles = faults.load_env("worker-crash:2, cache-corrupt-record")
+    assert [h.point for h in handles] == [
+        "worker-crash", "cache-corrupt-record",
+    ]
+    assert handles[0].remaining == 2
+    assert handles[1].remaining is None  # unlimited
+    assert faults.should_fire("worker-crash")
+    assert faults.should_fire("cache-corrupt-record")
+
+
+def test_load_env_rejects_unknown_point_and_bad_count():
+    with pytest.raises(ValueError):
+        faults.load_env("no-such-point")
+    with pytest.raises(ValueError):
+        faults.load_env("worker-crash:many")
+
+
+def test_env_faults_survive_plain_clear(_clean_env_registry):
+    faults.load_env("cache-io-error")
+    faults.clear()  # what every test fixture does
+    assert faults.should_fire("cache-io-error", detail="get")
+    faults.clear(env=True)
+    assert not faults.should_fire("cache-io-error", detail="get")
+
+
+def test_test_armed_fault_shadows_env_fault(_clean_env_registry):
+    env_spec, = faults.load_env("worker-crash")
+    spec = faults.inject("worker-crash", times=1)
+    assert faults.active()["worker-crash"] is spec
+    assert faults.should_fire("worker-crash")
+    assert spec.fired == 1  # the test-armed spec took the shot
+    assert env_spec.fired == 0
+    # The spent test spec no longer shadows; the env fault shows again.
+    assert faults.active()["worker-crash"] is env_spec
+
+
+def test_load_env_empty_spec_arms_nothing(_clean_env_registry):
+    assert faults.load_env("") == []
+    assert not faults.active()
+
+
+def test_cache_points_are_registered():
+    for point in (
+        "worker-crash", "cache-corrupt-record", "cache-io-error",
+    ):
+        assert point in faults.POINTS

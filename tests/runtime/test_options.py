@@ -48,6 +48,26 @@ class TestSynthesisOptions:
         with pytest.raises(ValueError, match="sat_mode"):
             SynthesisOptions(sat_mode="warm")
 
+    def test_robustness_knob_defaults(self):
+        options = SynthesisOptions()
+        assert options.retries == 2
+        assert options.retry_backoff == 0.05
+        assert options.cache_max_bytes is None
+
+    def test_robustness_knobs_validated(self):
+        with pytest.raises(ValueError, match="retries"):
+            SynthesisOptions(retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            SynthesisOptions(retry_backoff=-0.5)
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            SynthesisOptions(cache_max_bytes=-1)
+        # Zero is meaningful for all three: escalate immediately, no
+        # backoff sleep, evict everything.
+        options = SynthesisOptions(
+            retries=0, retry_backoff=0.0, cache_max_bytes=0
+        )
+        assert options.retries == 0
+
 
 class TestCoerceOptions:
     def test_legacy_kwargs_warn_and_fold(self):

@@ -181,3 +181,40 @@ def test_no_cache_ignores_cache_dir(spec, tmp_path, capsys):
         [spec, "--cache-dir", cache, "--no-cache", "--quiet"]
     ) == 0
     assert not os.path.exists(cache)
+
+
+def test_worker_crash_run_matches_serial_output(spec, capsys):
+    import re
+
+    def normalised(text):
+        return re.sub(r"\d+\.\d+s", "_s", text)
+
+    assert main([spec]) == 0
+    serial = capsys.readouterr().out
+    with faults.injected("worker-crash"):
+        code = main([spec, "--jobs", "2", "--retry-backoff", "0"])
+    assert code == 0  # the retry rescued it: no degradation, exit 0
+    assert normalised(capsys.readouterr().out) == normalised(serial)
+
+
+def test_zero_retries_rescue_still_exit_0(spec, capsys):
+    with faults.injected("worker-crash"):
+        code = main([spec, "--jobs", "2", "--retries", "0", "--quiet"])
+    assert code == 0
+    assert "conformance verified" in capsys.readouterr().out
+
+
+def test_cache_max_bytes_flag_bounds_the_store(spec, tmp_path, capsys):
+    import os
+
+    cache = str(tmp_path / "cache")
+    assert main(
+        [spec, "--cache-dir", cache, "--cache-max-bytes", "0", "--quiet"]
+    ) == 0
+    records = [
+        name
+        for _, _, files in os.walk(cache)
+        for name in files
+        if name.endswith(".rec")
+    ]
+    assert records == []  # everything stored was immediately evicted

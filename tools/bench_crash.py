@@ -1,0 +1,384 @@
+"""Measure and record modular synthesis' crash-recovery overhead.
+
+Usage::
+
+    python tools/bench_crash.py [--names A,B,...] [--jobs N]
+                                [--repeat N] [--out-dir DIR]
+    python tools/bench_crash.py --check BENCH_crash_recovery.json
+
+Times three configurations of :func:`repro.csc.synthesis.modular_synthesis`
+over a benchmark set -- serial clean (``jobs=1``, the reference results),
+parallel clean (``jobs=N``) and parallel *faulted*: the same ``jobs=N``
+run with a worker killed mid-run via the armed ``worker-crash`` fault
+point (a real ``os._exit`` in the worker, not a simulation) **and** every
+record of a freshly primed :class:`repro.perf.ResultCache` overwritten
+with garbage (at least 3 corrupted records, exercising the stale
+self-heal).  It verifies the faulted run still produces results
+bit-identical to the clean serial run, collects the recovery counters
+from the run reports, and writes ``BENCH_crash_recovery.json``
+(schema ``repro-crash-bench/1``)::
+
+    {
+      "schema": "repro-crash-bench/1",
+      "cores": int,                      # os.cpu_count() where measured
+      "jobs": int,                       # worker count of the parallel passes
+      "repeat": int,                     # timing passes (best-of)
+      "benchmarks": [str, ...],
+      "serial_seconds": number,
+      "clean_parallel_seconds": number,
+      "faulted_parallel_seconds": number,
+      "corrupted_records": int,          # cache records overwritten (>= 3)
+      "healed_records": int,             # of those, deleted/rewritten after
+      "recovery": {                      # counters of the faulted run
+        "worker_deaths": int, "module_retries": int,
+        "pool_respawns": int, "serial_rescues": int
+      },
+      "recovery_overhead": number,       # faulted / clean_parallel - 1
+      "identical": bool                  # faulted and clean match serial
+    }
+
+``--check`` validates an existing artifact instead: structural schema
+plus the thresholds the repository commits to -- results identical, at
+least one recovered worker death, at least 3 corrupted records, and
+``recovery_overhead < 0.25`` (crash recovery costs less than a quarter
+of the clean run).
+
+Run with ``src`` on ``PYTHONPATH`` (the script bootstraps it when
+invoked from a checkout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
+
+SCHEMA = "repro-crash-bench/1"
+DEFAULT_NAMES = (
+    "alloc-outbound", "nak-pa", "sbuf-read-ctl", "vbe-ex2",
+    "mmu0", "pe-rcv-ifc-fc", "atod", "mr1",
+)
+
+#: Recovery must cost less than a quarter of the clean parallel run.
+OVERHEAD_CEILING = 0.25
+#: The faulted run corrupts every primed record; the suite must be big
+#: enough to leave at least this many in the cache.
+MIN_CORRUPTED = 3
+
+GARBAGE = b"\x00bench-crash-corrupted-record\x00"
+
+_NUMBER_FIELDS = (
+    "serial_seconds", "clean_parallel_seconds", "faulted_parallel_seconds",
+)
+_RECOVERY_FIELDS = (
+    "worker_deaths", "module_retries", "pool_respawns", "serial_rescues",
+)
+
+
+def _result_key(result):
+    """A comparable snapshot of everything synthesis promises to fix."""
+    return (
+        result.assignment.names,
+        result.assignment.values,
+        {name: str(cover) for name, cover in result.covers.items()},
+        result.final_states,
+        result.final_signals,
+        tuple((m.output, m.status) for m in result.report.modules),
+    )
+
+
+def _run_suite(names, options_factory):
+    """One full pass over the suite.
+
+    Returns ``(wall_seconds, result_keys, recovery_counters)`` where the
+    counters are the recovery family summed over the suite's run reports.
+    """
+    from repro.bench.suite import load_benchmark
+    from repro.csc.synthesis import modular_synthesis
+
+    keys = []
+    recovery = {field: 0 for field in _RECOVERY_FIELDS}
+    start = time.perf_counter()
+    for name in names:
+        stg = load_benchmark(name)
+        result = modular_synthesis(stg, options=options_factory())
+        keys.append(_result_key(result))
+        metrics = result.report.aggregate()
+        for field in _RECOVERY_FIELDS:
+            recovery[field] += int(metrics[field])
+    return time.perf_counter() - start, keys, recovery
+
+
+def _best(names, options_factory, passes, setup=None):
+    """Best-of-N timing; ``setup`` runs before (outside) each timed pass."""
+    seconds = keys = recovery = None
+    for _ in range(passes):
+        if setup is not None:
+            setup()
+        elapsed, pass_keys, pass_recovery = _run_suite(names, options_factory)
+        if seconds is None or elapsed < seconds:
+            seconds, keys, recovery = elapsed, pass_keys, pass_recovery
+    return seconds, keys, recovery
+
+
+def _record_paths(cache_root):
+    from repro.perf.result_cache import RECORD_SUFFIX
+
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(cache_root):
+        for filename in filenames:
+            if filename.endswith(RECORD_SUFFIX):
+                paths.append(os.path.join(dirpath, filename))
+    return sorted(paths)
+
+
+def _corrupt_records(cache_root):
+    """Overwrite every record with garbage; returns the corrupted paths."""
+    paths = _record_paths(cache_root)
+    if len(paths) < MIN_CORRUPTED:
+        raise RuntimeError(
+            f"primed cache holds only {len(paths)} records; need at least "
+            f"{MIN_CORRUPTED} to corrupt -- use a larger --names set"
+        )
+    for path in paths:
+        with open(path, "wb") as handle:
+            handle.write(GARBAGE)
+    return paths
+
+
+def _count_healed(paths):
+    """Corrupted records that were since deleted or rewritten."""
+    healed = 0
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                if handle.read() != GARBAGE:
+                    healed += 1
+        except OSError:
+            healed += 1  # deleted: the self-heal won the race
+    return healed
+
+
+def measure(names, jobs, repeat):
+    """Time the three configurations; returns the artifact document."""
+    from repro.runtime import faults
+    from repro.runtime.options import SynthesisOptions
+
+    serial_seconds, serial_keys, _ = _best(
+        names, lambda: SynthesisOptions(minimize=True), repeat
+    )
+    clean_seconds, clean_keys, _ = _best(
+        names, lambda: SynthesisOptions(minimize=True, jobs=jobs), repeat
+    )
+
+    cache_root = tempfile.mkdtemp(prefix="bench-crash-cache-")
+    corrupted = []
+    try:
+        _run_suite(  # prime the cache the faulted passes will corrupt
+            names,
+            lambda: SynthesisOptions(
+                minimize=True, jobs=jobs, cache_dir=cache_root
+            ),
+        )
+
+        def sabotage():
+            corrupted[:] = _corrupt_records(cache_root)
+            faults.clear()
+            faults.inject("worker-crash", times=1)
+
+        faulted_seconds, faulted_keys, recovery = _best(
+            names,
+            lambda: SynthesisOptions(
+                minimize=True, jobs=jobs, cache_dir=cache_root
+            ),
+            repeat,
+            setup=sabotage,
+        )
+        healed = _count_healed(corrupted)
+    finally:
+        faults.clear()
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "cores": os.cpu_count() or 1,
+        "jobs": jobs,
+        "repeat": repeat,
+        "benchmarks": list(names),
+        "serial_seconds": round(serial_seconds, 6),
+        "clean_parallel_seconds": round(clean_seconds, 6),
+        "faulted_parallel_seconds": round(faulted_seconds, 6),
+        "corrupted_records": len(corrupted),
+        "healed_records": healed,
+        "recovery": recovery,
+        "recovery_overhead": round(
+            faulted_seconds / clean_seconds - 1.0, 4
+        ),
+        "identical": (
+            serial_keys == clean_keys and serial_keys == faulted_keys
+        ),
+    }
+
+
+def check_document(document):
+    """Problem strings for one artifact (empty list = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for field in ("cores", "jobs", "repeat"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 1:
+            problems.append(f"{field} missing or not a positive int")
+    benchmarks = document.get("benchmarks")
+    if (not isinstance(benchmarks, list) or not benchmarks
+            or not all(isinstance(n, str) for n in benchmarks)):
+        problems.append("benchmarks missing or not a list of names")
+    for field in _NUMBER_FIELDS:
+        value = document.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{field} missing or not a number")
+        elif value <= 0:
+            problems.append(f"{field} is not positive: {value!r}")
+    overhead = document.get("recovery_overhead")
+    if not isinstance(overhead, (int, float)) or isinstance(overhead, bool):
+        problems.append("recovery_overhead missing or not a number")
+        overhead = None
+    for field in ("corrupted_records", "healed_records"):
+        value = document.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{field} missing or not a non-negative int")
+    recovery = document.get("recovery")
+    if not isinstance(recovery, dict):
+        problems.append("recovery missing or not an object")
+        recovery = {}
+    else:
+        for field in _RECOVERY_FIELDS:
+            value = recovery.get(field)
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 0):
+                problems.append(
+                    f"recovery.{field} missing or not a non-negative int"
+                )
+    if document.get("identical") is not True:
+        problems.append("identical is not true: the faulted or clean "
+                        "parallel results diverged from the serial run")
+    if problems:
+        return problems
+
+    # Thresholds: the artifact must demonstrate actual recovery.
+    if document["corrupted_records"] < MIN_CORRUPTED:
+        problems.append(
+            f"corrupted_records {document['corrupted_records']} below the "
+            f"required {MIN_CORRUPTED}"
+        )
+    if document["healed_records"] < 1:
+        problems.append("healed_records is 0: the stale self-heal never ran")
+    if recovery["worker_deaths"] < 1:
+        problems.append(
+            "recovery.worker_deaths is 0: no worker crash was recovered"
+        )
+    if recovery["module_retries"] < 1 and recovery["serial_rescues"] < 1:
+        problems.append(
+            "neither module_retries nor serial_rescues is positive: "
+            "the crashed module was never re-solved"
+        )
+    if overhead >= OVERHEAD_CEILING:
+        problems.append(
+            f"recovery_overhead {overhead} not below the "
+            f"{OVERHEAD_CEILING} ceiling"
+        )
+    return problems
+
+
+def _check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        problems = [f"cannot read: {exc}"]
+    except ValueError as exc:
+        problems = [f"not valid JSON: {exc}"]
+    else:
+        problems = check_document(document)
+    if problems:
+        print(f"{path}: INVALID", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{path}: ok")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="validate an existing artifact instead of measuring",
+    )
+    parser.add_argument(
+        "--names", default=",".join(DEFAULT_NAMES),
+        help="comma-separated benchmark subset",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker count for the parallel passes (default 2)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2, metavar="N",
+        help="timing passes per configuration, best-of (default 2)",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory for BENCH_crash_recovery.json (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return _check(args.check)
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    document = measure(names, max(1, args.jobs), max(1, args.repeat))
+    os.makedirs(args.out_dir, exist_ok=True)
+    path = os.path.join(args.out_dir, "BENCH_crash_recovery.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+    print(
+        f"  cores={document['cores']} jobs={document['jobs']} "
+        f"serial={document['serial_seconds']:.2f}s "
+        f"clean={document['clean_parallel_seconds']:.2f}s "
+        f"faulted={document['faulted_parallel_seconds']:.2f}s"
+    )
+    recovery = document["recovery"]
+    print(
+        f"  corrupted={document['corrupted_records']} "
+        f"healed={document['healed_records']} "
+        f"worker_deaths={recovery['worker_deaths']} "
+        f"retries={recovery['module_retries']} "
+        f"respawns={recovery['pool_respawns']} "
+        f"rescues={recovery['serial_rescues']}"
+    )
+    print(
+        f"  recovery_overhead={document['recovery_overhead']} "
+        f"identical={document['identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
