@@ -32,7 +32,15 @@ Options:
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
 ``--trace FILE.jsonl``                write the span journal to FILE
+                                      (``.gz`` suffix gzips it)
 ``--metrics``                        print run-wide counter totals
+                                     (plus derived cache hit rates)
+``--metrics-tree``                   print the span tree with per-span
+                                     self time vs child time
+``--metrics-prom PATH``              write counters/histograms/gauges
+                                     in Prometheus text format
+``--trace-memory``                   record tracemalloc peak-memory
+                                     gauges per top-level span
 ``--profile-top N``                  print the N heaviest span names
 
 Observability flags compose with ``--quiet`` as follows: ``--quiet``
@@ -140,6 +148,18 @@ def main(argv=None):
         help="print run-wide counter totals after the summary",
     )
     parser.add_argument(
+        "--metrics-tree", action="store_true",
+        help="print the span tree with self time vs child time",
+    )
+    parser.add_argument(
+        "--metrics-prom", metavar="PATH", default=None,
+        help="write counters/histograms/gauges as Prometheus text",
+    )
+    parser.add_argument(
+        "--trace-memory", action="store_true",
+        help="record tracemalloc peak-memory gauges per top-level span",
+    )
+    parser.add_argument(
         "--profile-top", type=int, default=None, metavar="N",
         help="print the N heaviest span names by total wall clock",
     )
@@ -155,8 +175,17 @@ def main(argv=None):
         print(f"error: {args.spec}: {exc.describe()}", file=sys.stderr)
         return 1
 
-    observe = bool(args.trace or args.metrics or args.profile_top)
-    tracer = obs.install(obs.Tracer(journal=args.trace)) if observe else None
+    observe = bool(
+        args.trace or args.metrics or args.profile_top
+        or args.metrics_tree or args.metrics_prom or args.trace_memory
+    )
+    tracer = None
+    if observe:
+        tracer = obs.install(obs.Tracer(
+            journal=args.trace,
+            keep_events=args.metrics_tree,
+            memory=args.trace_memory,
+        ))
     try:
         code = _run(args, stg, tracer)
     finally:
@@ -241,13 +270,32 @@ def _print_observability(args, tracer):
     and on failed runs (the tracer has already folded whatever spans
     completed before the failure).
     """
-    from repro.obs import format_counters, format_profile
+    from repro.obs import (
+        build_forest,
+        format_counters,
+        format_profile,
+        format_tree,
+        prometheus_text,
+        with_derived,
+    )
 
     if args.metrics:
-        totals = tracer.counter_totals()
+        totals = with_derived(tracer.counter_totals())
         print(format_counters(totals) if totals else "metrics: none recorded")
+    if args.metrics_tree:
+        roots = build_forest(tracer.events)
+        print(format_tree(roots) if roots else "metrics-tree: no spans")
     if args.profile_top:
         print(format_profile(tracer.stats, top=args.profile_top))
+    if args.metrics_prom:
+        text = prometheus_text(
+            counters=with_derived(tracer.counter_totals()),
+            histograms=tracer.histograms,
+            gauges=tracer.gauges,
+        )
+        with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.metrics_prom}")
 
 
 def _print_modules(report, only_degraded=False):

@@ -16,7 +16,7 @@ from repro.bench.suite import BENCHMARKS, load_benchmark
 from repro.csc.direct import direct_synthesis
 from repro.csc.errors import BacktrackLimitError
 from repro.csc.synthesis import modular_synthesis
-from repro.obs import Counters, Stopwatch, merge_stats
+from repro.obs import Counters, Stopwatch, merge_stats, with_derived
 from repro.runtime.options import SynthesisOptions
 from repro.sat.solver import Limits
 from repro.stategraph.build import build_state_graph
@@ -366,9 +366,11 @@ def write_bench_json(rows, tag, out_dir=".", tracer=None, extra=None,
         "spans": spans,
     }
     if trace_counters is not None:
-        if isinstance(trace_counters, Counters):
-            trace_counters = trace_counters.as_dict()
-        document["trace_counters"] = dict(trace_counters)
+        if not isinstance(trace_counters, Counters):
+            trace_counters = Counters().merge(dict(trace_counters))
+        # Derived ratios (cache hit rates) are computed at reporting
+        # time so segment merges never average averages.
+        document["trace_counters"] = with_derived(trace_counters).as_dict()
     if extra:
         document.update(extra)
     path = os.path.join(out_dir, f"BENCH_{tag}.json")

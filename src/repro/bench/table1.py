@@ -37,7 +37,7 @@ from repro.bench.runner import (
     write_bench_json,
 )
 from repro.bench.suite import BENCHMARKS
-from repro.obs import counter_totals, stats_as_dict
+from repro.obs import counter_totals, journal_open, stats_as_dict
 
 _PAPER_METHODS = {
     "modular": lambda info: info.ours,
@@ -95,13 +95,14 @@ def _merge_journals(journals, target):
     Each worker's journal is a complete JSONL trace (its own header
     event, its own span-id space); the merged file is a sequence of
     such self-contained segments, which is what the aggregation tools
-    fold by span *name* anyway.
+    fold by span *name* anyway.  A ``.gz`` target (or part) is handled
+    transparently via :func:`repro.obs.journal_open`.
     """
-    with open(target, "w", encoding="utf-8") as out:
+    with journal_open(target, "w") as out:
         for journal in journals:
             if not os.path.exists(journal):
                 continue
-            with open(journal, "r", encoding="utf-8") as part:
+            with journal_open(journal, "r") as part:
                 out.write(part.read())
             os.remove(journal)
 

@@ -99,11 +99,16 @@ def _init_worker(graph, params, budget_slice, trace):
     -- faults are the parent's to fire, at dispatch, in output order --
     and the worker's budget slice starts counting now (the pool starts
     all workers at dispatch time, so "now" is the split instant).
+    ``trace`` is ``{"enabled": bool, "memory": bool}`` mirroring the
+    parent tracer's configuration (a bare bool is accepted for
+    compatibility and means journal-only).
     """
     from repro.perf import ProjectionCache
     from repro.runtime import faults
 
     faults.clear(env=True)
+    if not isinstance(trace, dict):
+        trace = {"enabled": bool(trace), "memory": False}
     _worker["graph"] = graph
     _worker["params"] = params
     _worker["budget"] = (
@@ -140,9 +145,11 @@ def _solve_one(output, input_set, die=False, attempt=0):
     params = _worker["params"]
     budget = _worker["budget"]
     tracer = buffer = None
-    if _worker["trace"]:
+    if _worker["trace"]["enabled"]:
         buffer = io.StringIO()
-        tracer = obs.install(Tracer(journal=buffer))
+        tracer = obs.install(Tracer(
+            journal=buffer, memory=_worker["trace"]["memory"],
+        ))
     used_before = budget.backtracks_used if budget is not None else 0
     try:
         empty = Assignment.empty(graph.num_states)
@@ -206,6 +213,9 @@ def _finish(payload, budget, used_before, tracer, buffer):
         tracer.close()
         payload["stats"] = tracer.stats_dict()
         payload["journal"] = buffer.getvalue()
+        metrics = tracer.metrics_dict()
+        if metrics:
+            payload["metrics"] = metrics
     return payload
 
 
@@ -272,7 +282,10 @@ def prepare_parallel(graph, outputs, basis, *, limits, max_signals,
     if not to_dispatch:
         return prepared, stats
 
-    trace = obs.enabled()
+    trace = {
+        "enabled": obs.enabled(),
+        "memory": bool(getattr(obs.active(), "memory", False)),
+    }
     params = {
         "limits": limits,
         "max_signals": max_signals,
@@ -331,7 +344,8 @@ def _absorb_payload(payload, output, graph, budget):
         budget.charge_backtracks(payload.get("backtracks", 0))
     tracer = obs.active()
     if tracer is not None and "stats" in payload:
-        tracer.absorb(payload.get("stats"), payload.get("journal"))
+        tracer.absorb(payload.get("stats"), payload.get("journal"),
+                      payload.get("metrics"))
     status = payload["status"]
     if status == "ok":
         partition = payload["partition"]

@@ -11,6 +11,12 @@ the parallel bench runner (``table1 --jobs N``) merges one self-contained
 journal per worker into a single file.  Every ``trace`` header starts a
 new *segment*, and the rules below hold per segment.
 
+Journals whose path ends in ``.gz`` are gzip-compressed, transparently
+on both sides: :func:`journal_open` is the one open helper the tracer's
+write path and this module's read path share, so
+``--trace run.jsonl.gz`` and ``tools/summarize_trace.py run.jsonl.gz``
+just work (thousand-circuit corpora journals get large).
+
 Well-formedness rules (checked by :func:`validate_events`):
 
 * every line parses as a JSON object with a known ``ev`` type;
@@ -27,11 +33,25 @@ Well-formedness rules (checked by :func:`validate_events`):
 from __future__ import annotations
 
 import json
+import os
 
 from repro.obs.tracer import JOURNAL_VERSION
 
 #: Record types a journal may contain.
 EVENT_TYPES = ("trace", "start", "end", "point")
+
+
+def journal_open(path, mode="r"):
+    """Open a journal path for text I/O, gzipping on a ``.gz`` suffix.
+
+    ``mode`` is ``"r"`` or ``"w"``; the returned handle is always a
+    text-mode file object with UTF-8 encoding.
+    """
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 class JournalError(ValueError):
@@ -46,21 +66,25 @@ class JournalError(ValueError):
         super().__init__(f"malformed trace journal: {preview}")
 
 
+def _read_lines(source):
+    if isinstance(source, (str, os.PathLike)):
+        with journal_open(source, "r") as handle:
+            return handle.readlines()
+    if hasattr(source, "read"):
+        return source.read().splitlines()
+    return list(source)
+
+
 def read_events(source):
     """Parse a journal into a list of event dicts.
 
-    ``source`` is a path, an open text file, or an iterable of lines.
-    Raises :class:`JournalError` on the first unparseable line.
+    ``source`` is a path (``.gz`` paths are gunzipped transparently),
+    an open text file, or an iterable of lines.  Raises
+    :class:`JournalError` on the first unparseable line; use
+    :func:`read_events_tolerant` to skip and count bad lines instead.
     """
-    if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-    elif hasattr(source, "read"):
-        lines = source.read().splitlines()
-    else:
-        lines = list(source)
     events = []
-    for number, line in enumerate(lines, start=1):
+    for number, line in enumerate(_read_lines(source), start=1):
         line = line.strip()
         if not line:
             continue
@@ -72,6 +96,33 @@ def read_events(source):
             raise JournalError([f"line {number}: not a JSON object"])
         events.append(event)
     return events
+
+
+def read_events_tolerant(source):
+    """Parse a journal, skipping unparseable lines instead of raising.
+
+    Returns ``(events, skipped)`` where ``skipped`` is a list of
+    one-line problem strings (``"line N: ..."``), one per line that was
+    truncated, corrupt or not a JSON object.  A journal cut off
+    mid-write (crashed run, interrupted copy) still yields everything
+    before the tear; the caller decides whether the skips are fatal.
+    """
+    events = []
+    skipped = []
+    for number, line in enumerate(_read_lines(source), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            skipped.append(f"line {number}: invalid JSON ({exc.msg})")
+            continue
+        if not isinstance(event, dict):
+            skipped.append(f"line {number}: not a JSON object")
+            continue
+        events.append(event)
+    return events, skipped
 
 
 def split_segments(events):

@@ -122,6 +122,35 @@ def counter_totals(stats):
     return totals
 
 
+#: ``derived name -> (hits counter, misses counter)`` hit-rate ratios
+#: appended by :func:`with_derived` (see
+#: :data:`repro.obs.metrics.DERIVED_GLOSSARY`).
+_HIT_RATES = {
+    "result_cache_hit_rate": ("result_cache_hits", "result_cache_misses"),
+    "proj_cache_hit_rate": ("proj_cache_hits", "proj_cache_misses"),
+}
+
+
+def with_derived(totals):
+    """A copy of ``totals`` with the derived ratio metrics appended.
+
+    Cache hit rates (``result_cache_hit_rate``,
+    ``proj_cache_hit_rate``) are computed from the raw hit/miss
+    counters whenever at least one lookup happened, so ``--metrics``
+    output and ``BENCH_<tag>.json`` ``trace_counters`` surface cache
+    effectiveness without a journal read.  Ratios are derived at
+    reporting time only -- they are never merged (a merged ratio would
+    be meaningless).
+    """
+    out = Counters()
+    out.merge(totals)
+    for name, (hits_key, misses_key) in _HIT_RATES.items():
+        lookups = totals[hits_key] + totals[misses_key]
+        if lookups:
+            out.set(name, round(totals[hits_key] / lookups, 4))
+    return out
+
+
 def top_spans(stats, n=None):
     """Span stats ordered by total wall clock, heaviest first."""
     ordered = sorted(

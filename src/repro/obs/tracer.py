@@ -25,7 +25,13 @@ import json
 import time
 from contextlib import contextmanager
 
-from repro.obs.metrics import Counters
+from repro.obs.metrics import (
+    AUTO_HISTOGRAMS,
+    Counters,
+    Gauge,
+    Histogram,
+    gauge_key,
+)
 from repro.obs.profile import (
     SpanStats,
     counter_totals,
@@ -129,19 +135,51 @@ class Tracer:
     Parameters
     ----------
     journal:
-        ``None`` (in-memory profiling only), a path to create, or an
+        ``None`` (in-memory profiling only), a path to create (a
+        ``.gz`` suffix selects transparent gzip compression), or an
         open text file-like object (not closed by :meth:`close`).
     clock:
         Injectable time source for deterministic tests.
+    keep_events:
+        Retain every emitted journal record in memory (``self.events``)
+        so post-hoc analytics (:mod:`repro.obs.analyze`, the CLI's
+        ``--metrics-tree``) can rebuild the span tree without a journal
+        file.  Worker segments folded in by :meth:`absorb` are parsed
+        and appended too.
+    memory:
+        Record ``tracemalloc`` peak-allocation gauges per *top-level*
+        span (``peak_memory_bytes{span=...}``).  Starts tracemalloc if
+        it is not already tracing (and stops it again on :meth:`close`
+        only in that case).  Opt-in: allocation tracking costs real
+        time, so it rides the CLI's ``--trace-memory`` flag.
     """
 
-    def __init__(self, journal=None, clock=time.perf_counter):
+    def __init__(self, journal=None, clock=time.perf_counter,
+                 keep_events=False, memory=False):
         self._clock = clock
         self.started = clock()
         self._stack = []
         self._next_id = 1
         #: ``{span_name: SpanStats}`` folded as spans close.
         self.stats = {}
+        #: ``{name: Histogram}`` filled by :meth:`observe` and the
+        #: automatic span-close observations (:data:`AUTO_HISTOGRAMS`).
+        self.histograms = {}
+        #: ``{gauge_key: Gauge}`` filled by :meth:`gauge`.
+        self.gauges = {}
+        # Retained journal records (only when ``keep_events``); absorbed
+        # worker events are buffered apart so the :attr:`events` view
+        # always reads as own-segment-first, like the journal file.
+        self._events = [] if keep_events else None
+        self._absorbed_events = []
+        self.memory = bool(memory)
+        self._mem_started_here = False
+        if self.memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._mem_started_here = True
         #: Worker journal segments queued by :meth:`absorb`, appended to
         #: the sink after this tracer's own (self-contained) segment.
         self._segments = []
@@ -151,8 +189,11 @@ class Tracer:
             if hasattr(journal, "write"):
                 self._sink = journal
             else:
-                self._sink = open(journal, "w", encoding="utf-8")
+                from repro.obs.journal import journal_open
+
+                self._sink = journal_open(journal, "w")
                 self._owns_sink = True
+        if self._sink is not None or self._events is not None:
             self._emit({
                 "ev": "trace",
                 "version": JOURNAL_VERSION,
@@ -164,6 +205,10 @@ class Tracer:
     def span(self, name, **attrs):
         """Open a span nested under the current one."""
         parent = self._stack[-1].id if self._stack else None
+        if self.memory and parent is None:
+            import tracemalloc
+
+            tracemalloc.reset_peak()
         entry = Span(self, name, self._next_id, parent, attrs)
         self._next_id += 1
         entry.started = self._now()
@@ -195,6 +240,16 @@ class Tracer:
         if stats is None:
             stats = self.stats[entry.name] = SpanStats(entry.name)
         stats.record(entry.duration, entry.counters)
+        for hist_name, source in AUTO_HISTOGRAMS.get(entry.name, ()):
+            if source == "duration":
+                self.observe(hist_name, entry.duration)
+            elif source in entry.counters:
+                self.observe(hist_name, entry.counters[source])
+        if self.memory and entry.parent_id is None:
+            import tracemalloc
+
+            _current, peak = tracemalloc.get_traced_memory()
+            self.gauge("peak_memory_bytes", peak, span=entry.name)
         record = {
             "ev": "end",
             "id": entry.id,
@@ -226,6 +281,32 @@ class Tracer:
             record["attrs"] = dict(attrs)
         self._emit(record)
 
+    def observe(self, name, value):
+        """Record one observation into the named histogram.
+
+        Buckets come from
+        :data:`~repro.obs.metrics.HISTOGRAM_BUCKETS` (or the default
+        set), so worker and parent histograms always merge.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(name)
+        hist.observe(value)
+        return hist
+
+    def gauge(self, name, value, mode="max", **labels):
+        """Set the named (and optionally labelled) gauge.
+
+        The default ``max`` mode keeps the high-water mark across sets
+        and merges; ``mode="last"`` is last-write-wins.
+        """
+        key = gauge_key(name, labels)
+        entry = self.gauges.get(key)
+        if entry is None:
+            entry = self.gauges[key] = Gauge(name, labels, mode=mode)
+        entry.set(value)
+        return entry
+
     # -- reporting ---------------------------------------------------------
 
     def counter_totals(self):
@@ -240,7 +321,28 @@ class Tracer:
         """JSON-ready profile snapshot (for ``BENCH_*.json``)."""
         return stats_as_dict(self.stats)
 
-    def absorb(self, stats=None, journal=None):
+    def metrics_dict(self):
+        """JSON/pickle-ready histogram + gauge snapshot.
+
+        The shape workers ship across the process boundary for
+        :meth:`absorb`; empty registries collapse to an empty dict so
+        payloads stay small.
+        """
+        snapshot = {}
+        if self.histograms:
+            snapshot["histograms"] = {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            }
+        if self.gauges:
+            snapshot["gauges"] = {
+                key: {"name": self.gauges[key].name,
+                      **self.gauges[key].as_dict()}
+                for key in sorted(self.gauges)
+            }
+        return snapshot
+
+    def absorb(self, stats=None, journal=None, metrics=None):
         """Fold a worker process's trace into this tracer.
 
         ``stats`` is the worker's :meth:`stats_dict` snapshot, merged
@@ -250,6 +352,9 @@ class Tracer:
         appended to the sink by :meth:`close`, *after* this tracer's own
         events, so the file stays a valid concatenation of
         self-contained segments (see :mod:`repro.obs.journal`).
+        ``metrics`` is the worker's :meth:`metrics_dict` snapshot:
+        histograms merge bucket-for-bucket, gauges by their declared
+        mode (peaks take the max).
         """
         for name, data in (stats or {}).items():
             entry = SpanStats.from_dict(name, data)
@@ -258,13 +363,55 @@ class Tracer:
                 self.stats[name] = entry
             else:
                 existing.merge(entry)
+        if metrics:
+            for name, data in (metrics.get("histograms") or {}).items():
+                incoming = Histogram.from_dict(name, data)
+                existing = self.histograms.get(name)
+                if existing is None:
+                    self.histograms[name] = incoming
+                else:
+                    existing.merge(incoming)
+            for key, data in (metrics.get("gauges") or {}).items():
+                incoming = Gauge.from_dict(data.get("name", key), data)
+                existing = self.gauges.get(key)
+                if existing is None:
+                    self.gauges[key] = incoming
+                else:
+                    existing.merge(incoming)
         if journal:
             self._segments.append(journal)
+            if self._events is not None:
+                import json as _json
+
+                for line in journal.splitlines():
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        self._absorbed_events.append(_json.loads(line))
+                    except ValueError:
+                        pass  # analytics tolerate a torn worker line
+
+    @property
+    def events(self):
+        """Retained records, own segment first then absorbed worker
+        segments -- the same ordering :meth:`close` writes to the sink,
+        so :func:`~repro.obs.analyze.build_forest` sees identical
+        segment boundaries live and post-hoc.  ``None`` unless the
+        tracer was built with ``keep_events``."""
+        if self._events is None:
+            return None
+        return self._events + self._absorbed_events
 
     def close(self):
         """Close any spans left open (crash path), then the journal."""
         while self._stack:
             self._end(self._stack[-1])
+        if self._mem_started_here:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._mem_started_here = False
         if self._sink is not None:
             for segment in self._segments:
                 self._sink.write(segment)
@@ -282,6 +429,8 @@ class Tracer:
         return round(self._clock() - self.started, 6)
 
     def _emit(self, record):
+        if self._events is not None:
+            self._events.append(record)
         if self._sink is not None:
             self._sink.write(
                 json.dumps(record, separators=(",", ":"), default=str)
@@ -337,6 +486,18 @@ def event(name, **attrs):
     """Record a point event; no-op when disabled."""
     if _tracer is not None:
         _tracer.event(name, **attrs)
+
+
+def observe(name, value):
+    """Record a histogram observation; no-op when disabled."""
+    if _tracer is not None:
+        _tracer.observe(name, value)
+
+
+def gauge(name, value, mode="max", **labels):
+    """Set a gauge on the installed tracer; no-op when disabled."""
+    if _tracer is not None:
+        _tracer.gauge(name, value, mode=mode, **labels)
 
 
 def enabled():

@@ -262,8 +262,21 @@ class ResultCache:
 
         Lock-free: the record file is either a complete envelope or
         absent (writers publish with an atomic rename).  A hit touches
-        the record's timestamps so LRU eviction sees the use.
+        the record's timestamps so LRU eviction sees the use.  With a
+        tracer installed, the lookup's latency lands in the
+        ``cache_lookup_seconds`` histogram (hit, miss and stale alike).
         """
+        if obs.enabled():
+            from repro.obs import Stopwatch
+
+            watch = Stopwatch()
+            try:
+                return self._get(kind, key)
+            finally:
+                obs.observe("cache_lookup_seconds", watch.elapsed())
+        return self._get(kind, key)
+
+    def _get(self, kind, key):
         path = self._path(kind, key)
         if faults.should_fire("cache-io-error", detail="get"):
             return self._io_miss("injected fault: cache read failed")

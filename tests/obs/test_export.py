@@ -1,0 +1,223 @@
+"""Folded stacks, Chrome trace events, Prometheus text exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counters,
+    Gauge,
+    Histogram,
+    build_forest,
+    chrome_trace,
+    folded_stacks,
+    prometheus_text,
+    validate_chrome_trace,
+    validate_folded,
+    validate_prometheus_text,
+    with_derived,
+    write_chrome_trace,
+)
+
+HEADER = {"ev": "trace", "version": 1, "clock": "perf_counter"}
+
+
+def _span(sid, name, start, dur, parent=None, attrs=None, counters=None):
+    start_record = {"ev": "start", "id": sid, "name": name, "t": start}
+    if parent is not None:
+        start_record["parent"] = parent
+    end_record = {
+        "ev": "end", "id": sid, "name": name,
+        "t": start + dur, "dur": dur,
+    }
+    if attrs:
+        end_record["attrs"] = dict(attrs)
+    if counters:
+        end_record["counters"] = dict(counters)
+    return start_record, end_record
+
+
+def _forest():
+    run_s, run_e = _span(1, "run", 0.0, 3.0)
+    mod_s, mod_e = _span(2, "module", 0.5, 2.0, parent=1,
+                         attrs={"output": "x"},
+                         counters={"backtracks": 3})
+    return build_forest([HEADER, run_s, mod_s, mod_e, run_e])
+
+
+# -- folded stacks ----------------------------------------------------------
+
+
+def test_folded_stacks_emit_self_time_microseconds():
+    lines = folded_stacks(_forest())
+    assert lines == ["run 1000000", "run;module 2000000"]
+    assert validate_folded(lines) == []
+
+
+def test_folded_stacks_aggregate_identical_paths():
+    run_s, run_e = _span(1, "run", 0.0, 4.0)
+    a_s, a_e = _span(2, "module", 0.0, 1.0, parent=1)
+    b_s, b_e = _span(3, "module", 1.0, 2.0, parent=1)
+    roots = build_forest([HEADER, run_s, a_s, a_e, b_s, b_e, run_e])
+    lines = folded_stacks(roots)
+    assert "run;module 3000000" in lines  # both spans fold into one line
+
+
+def test_folded_stacks_sanitise_frame_characters():
+    run_s, run_e = _span(1, "bad name;here", 0.0, 1.0)
+    lines = folded_stacks(build_forest([HEADER, run_s, run_e]))
+    assert lines == ["bad_name_here 1000000"]
+    assert validate_folded(lines) == []
+
+
+def test_folded_stacks_per_segment_prefix():
+    worker = [HEADER, *_span(1, "module", 0.0, 1.0)]
+    events = [HEADER, *_span(1, "run", 0.0, 1.0)] + worker
+    lines = folded_stacks(build_forest(events), per_segment=True)
+    assert "segment0;run 1000000" in lines
+    assert "segment1;module 1000000" in lines
+
+
+def test_validate_folded_rejects_malformed_lines():
+    assert validate_folded(["no-value-here"])
+    assert validate_folded(["frame -3"])
+    assert validate_folded(["frame;;frame 10"])
+    assert validate_folded([]) == []
+
+
+# -- Chrome trace events ----------------------------------------------------
+
+
+def test_chrome_trace_document_shape_and_validation(tmp_path):
+    point = {"ev": "point", "name": "escalate", "t": 1.0,
+             "attrs": {"engine": "cdcl"}}
+    events = [HEADER, *_span(1, "run", 0.0, 3.0), point]
+    document = chrome_trace(_forest(), events)
+    assert validate_chrome_trace(document) == []
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"run", "module"}
+    run = next(e for e in complete if e["name"] == "run")
+    assert run["ts"] == 0.0
+    assert run["dur"] == 3_000_000.0
+    module = next(e for e in complete if e["name"] == "module")
+    assert module["args"]["attrs"] == {"output": "x"}
+    assert module["args"]["counters"] == {"backtracks": 3}
+    instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+    assert instants[0]["name"] == "escalate"
+    lanes = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    assert lanes[0]["args"]["name"] == "main"
+
+    path = write_chrome_trace(document, str(tmp_path / "trace.json"))
+    assert json.loads(open(path, encoding="utf-8").read()) == document
+
+
+def test_chrome_trace_worker_segments_get_their_own_lanes():
+    worker = [HEADER, *_span(1, "module", 0.0, 1.0)]
+    events = [HEADER, *_span(1, "run", 0.0, 2.0)] + worker
+    document = chrome_trace(build_forest(events), events)
+    lanes = {
+        e["args"]["name"]: e["tid"]
+        for e in document["traceEvents"] if e["ph"] == "M"
+    }
+    assert lanes == {"main": 1, "worker segment 1": 2}
+    worker_spans = [
+        e for e in document["traceEvents"]
+        if e["ph"] == "X" and e["tid"] == 2
+    ]
+    assert [e["name"] for e in worker_spans] == ["module"]
+
+
+def test_validate_chrome_trace_rejects_bad_documents():
+    assert validate_chrome_trace([]) == ["top level is not an object"]
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "Z", "name": "x"}]}
+    )
+    assert validate_chrome_trace(
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": 0,
+                          "pid": 1, "tid": 1, "dur": -1}]}
+    )
+
+
+# -- Prometheus text --------------------------------------------------------
+
+
+def test_prometheus_counters_get_total_suffix_and_help():
+    page = prometheus_text(counters=Counters(backtracks=7, decisions=12))
+    assert "# TYPE repro_backtracks_total counter" in page
+    assert "repro_backtracks_total 7" in page
+    assert "# HELP repro_backtracks_total" in page
+    assert page.endswith("\n")
+    assert validate_prometheus_text(page) == []
+
+
+def test_prometheus_derived_ratios_render_as_gauges():
+    totals = with_derived(
+        Counters(result_cache_hits=3, result_cache_misses=1)
+    )
+    page = prometheus_text(counters=totals)
+    assert "# TYPE repro_result_cache_hit_rate gauge" in page
+    assert "repro_result_cache_hit_rate 0.75" in page
+    assert "repro_result_cache_hits_total 3" in page
+    assert validate_prometheus_text(page) == []
+
+
+def test_prometheus_histogram_is_cumulative_and_ends_at_inf():
+    hist = Histogram("module_solve_seconds")
+    for value in (0.0005, 0.02, 0.02, 99.0):
+        hist.observe(value)
+    page = prometheus_text(histograms={"module_solve_seconds": hist})
+    assert "# TYPE repro_module_solve_seconds histogram" in page
+    assert 'repro_module_solve_seconds_bucket{le="0.001"} 1' in page
+    assert 'repro_module_solve_seconds_bucket{le="0.05"} 3' in page
+    assert 'repro_module_solve_seconds_bucket{le="+Inf"} 4' in page
+    assert "repro_module_solve_seconds_count 4" in page
+    assert validate_prometheus_text(page) == []
+
+
+def test_prometheus_gauges_render_labels():
+    gauge = Gauge("peak_memory_bytes", labels={"span": "run"})
+    gauge.set(4096)
+    page = prometheus_text(gauges={gauge.key(): gauge})
+    assert 'repro_peak_memory_bytes{span="run"} 4096' in page
+    assert "# TYPE repro_peak_memory_bytes gauge" in page
+    assert validate_prometheus_text(page) == []
+
+
+def test_prometheus_unset_gauges_are_omitted():
+    gauge = Gauge("peak_memory_bytes")
+    page = prometheus_text(gauges={gauge.key(): gauge})
+    assert page == ""
+
+
+def test_validate_prometheus_text_flags_format_violations():
+    assert validate_prometheus_text("repro_x_total 1") == [
+        "page does not end with a newline"
+    ]
+    assert validate_prometheus_text("not a sample line at all!\n")
+    assert validate_prometheus_text("repro_x_total notanumber\n")
+    assert validate_prometheus_text(
+        "# TYPE repro_x counter\n# TYPE repro_x counter\nrepro_x 1\n"
+    ) == ["line 2: duplicate TYPE for repro_x"]
+    assert validate_prometheus_text('repro_x{bad label} 1\n')
+
+
+def test_full_registry_round_trip_validates():
+    hist = Histogram("cache_lookup_seconds")
+    hist.observe(0.002)
+    gauge = Gauge("peak_memory_bytes", labels={"span": "bench"})
+    gauge.set(1.5e6)
+    page = prometheus_text(
+        counters=with_derived(Counters(
+            proj_cache_hits=9, proj_cache_misses=3, sat_attempts=4,
+        )),
+        histograms={"cache_lookup_seconds": hist},
+        gauges={gauge.key(): gauge},
+    )
+    assert validate_prometheus_text(page) == []
+    assert "repro_proj_cache_hit_rate 0.75" in page
+    assert "repro_cache_lookup_seconds_sum 0.002" in page
+    assert pytest.approx(1.5e6) == float(
+        page.split('repro_peak_memory_bytes{span="bench"} ')[1]
+        .splitlines()[0]
+    )

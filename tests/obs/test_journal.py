@@ -213,3 +213,63 @@ def test_load_journal_raises_with_problem_list():
     with pytest.raises(JournalError) as excinfo:
         load_journal(lines)
     assert excinfo.value.problems
+
+
+# -- gzip transparency and tolerant reads -----------------------------------
+
+
+def test_journal_open_round_trips_gzip(tmp_path):
+    import gzip
+
+    from repro.obs import journal_open
+
+    path = str(tmp_path / "trace.jsonl.gz")
+    with journal_open(path, "w") as handle:
+        handle.write('{"ev":"trace","version":1}\n')
+    with gzip.open(path, "rt", encoding="utf-8") as raw:
+        assert raw.read().startswith('{"ev":"trace"')
+    with journal_open(path, "r") as handle:
+        assert json.loads(handle.readline())["ev"] == "trace"
+
+
+def test_tracer_writes_and_read_events_reads_gz_paths(tmp_path):
+    path = str(tmp_path / "run.jsonl.gz")
+    with obs.tracing(journal=path):
+        with obs.span("run"):
+            pass
+    events = read_events(path)
+    assert validate_events(events) == []
+    assert [e["ev"] for e in events] == ["trace", "start", "end"]
+
+
+def test_read_events_tolerant_skips_torn_and_corrupt_lines():
+    from repro.obs import read_events_tolerant
+
+    lines = [
+        '{"ev":"trace","version":1}',
+        '{"ev":"start","id":1,"name":"run","t":0.0}',
+        '{"ev":"end","id":1,"na',  # torn mid-write
+        "[1,2,3]",                 # parses but is not an object
+    ]
+    events, skipped = read_events_tolerant(lines)
+    assert [e["ev"] for e in events] == ["trace", "start"]
+    assert len(skipped) == 2
+    assert skipped[0].startswith("line 3:")
+    assert "not a JSON object" in skipped[1]
+
+
+def test_read_events_tolerant_clean_journal_has_no_skips():
+    from repro.obs import read_events_tolerant
+
+    sink = io.StringIO()
+    with obs.tracing(journal=sink):
+        with obs.span("run"):
+            pass
+    events, skipped = read_events_tolerant(io.StringIO(sink.getvalue()))
+    assert skipped == []
+    assert validate_events(events) == []
+
+
+def test_read_events_still_raises_on_corrupt_line():
+    with pytest.raises(JournalError):
+        read_events(['{"ev":"trace"', "}{"])

@@ -1,6 +1,18 @@
-"""Counters semantics and the results that carry them."""
+"""Counters, histograms and gauges, and the results that carry them."""
 
-from repro.obs import COUNTER_GLOSSARY, Counters
+import pytest
+
+from repro.obs import (
+    COUNTER_GLOSSARY,
+    DERIVED_GLOSSARY,
+    GAUGE_GLOSSARY,
+    HISTOGRAM_BUCKETS,
+    HISTOGRAM_GLOSSARY,
+    Counters,
+    Gauge,
+    Histogram,
+    with_derived,
+)
 from repro.sat import SAT, Cnf, solve_with
 from repro.sat.solver import SolveResult
 
@@ -68,10 +80,133 @@ def test_iteration_is_sorted_and_len_counts_entries():
 
 
 def test_glossary_names_are_snake_case_strings():
-    for name, description in COUNTER_GLOSSARY.items():
-        assert name == name.lower()
-        assert " " not in name
-        assert description
+    for glossary in (COUNTER_GLOSSARY, DERIVED_GLOSSARY,
+                     HISTOGRAM_GLOSSARY, GAUGE_GLOSSARY):
+        for name, description in glossary.items():
+            assert name == name.lower()
+            assert " " not in name
+            assert description
+
+
+def test_every_declared_histogram_has_glossary_and_sorted_bounds():
+    for name, bounds in HISTOGRAM_BUCKETS.items():
+        assert name in HISTOGRAM_GLOSSARY
+        assert list(bounds) == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+
+
+# -- histograms -------------------------------------------------------------
+
+
+def test_histogram_buckets_observations_and_tracks_sum():
+    hist = Histogram("module_solve_seconds")
+    hist.observe(0.0001)   # below the first bound
+    hist.observe(0.02)     # mid-range
+    hist.observe(100.0)    # above the last bound -> +Inf bucket
+    assert hist.count == 3
+    assert hist.total == pytest.approx(100.0201)
+    assert hist.mean == pytest.approx(100.0201 / 3)
+    assert hist.counts[0] == 1
+    assert hist.counts[-1] == 1
+
+
+def test_histogram_cumulative_ends_at_infinity_with_full_count():
+    hist = Histogram("x", bounds=(1.0, 2.0))
+    for value in (0.5, 1.5, 5.0, 5.0):
+        hist.observe(value)
+    assert hist.cumulative() == [
+        (1.0, 1), (2.0, 2), (float("inf"), 4),
+    ]
+
+
+def test_histogram_merge_is_bucketwise_and_requires_equal_bounds():
+    left = Histogram("formula_clauses")
+    right = Histogram("formula_clauses")
+    left.observe(60)
+    right.observe(60)
+    right.observe(9999)
+    left.merge(right)
+    assert left.count == 3
+    assert left.total == pytest.approx(60 + 60 + 9999)
+    with pytest.raises(ValueError):
+        left.merge(Histogram("other", bounds=(1.0,)))
+
+
+def test_histogram_dict_round_trip():
+    hist = Histogram("sat_attempt_seconds")
+    hist.observe(0.003)
+    hist.observe(42.0)
+    clone = Histogram.from_dict("sat_attempt_seconds", hist.as_dict())
+    assert clone.bounds == hist.bounds
+    assert clone.counts == hist.counts
+    assert clone.count == 2
+    assert clone.total == pytest.approx(hist.total)
+
+
+def test_histogram_from_dict_rejects_mismatched_buckets():
+    data = {"bounds": [1.0, 2.0], "counts": [1], "sum": 1.0, "count": 1}
+    with pytest.raises(ValueError):
+        Histogram.from_dict("x", data)
+
+
+# -- gauges -----------------------------------------------------------------
+
+
+def test_gauge_max_mode_keeps_high_water_mark():
+    gauge = Gauge("peak_memory_bytes")
+    gauge.set(100)
+    gauge.set(50)
+    assert gauge.value == 100.0
+    gauge.set(200)
+    assert gauge.value == 200.0
+
+
+def test_gauge_last_mode_is_last_write_wins():
+    gauge = Gauge("x", mode="last")
+    gauge.set(100)
+    gauge.set(50)
+    assert gauge.value == 50.0
+    with pytest.raises(ValueError):
+        Gauge("x", mode="median")
+
+
+def test_gauge_merge_follows_declared_mode():
+    parent = Gauge("peak_memory_bytes", labels={"span": "run"})
+    parent.set(100)
+    worker = Gauge("peak_memory_bytes", labels={"span": "run"})
+    worker.set(300)
+    parent.merge(worker)
+    assert parent.value == 300.0
+    parent.merge(Gauge("peak_memory_bytes"))  # unset merges are no-ops
+    assert parent.value == 300.0
+
+
+def test_gauge_keys_include_sorted_labels():
+    bare = Gauge("x")
+    labelled = Gauge("x", labels={"b": 2, "a": 1})
+    assert bare.key() == "x"
+    assert labelled.key() == "x{a=1,b=2}"
+    clone = Gauge.from_dict("x", labelled.as_dict())
+    assert clone.key() == labelled.key()
+    assert clone.value is None
+
+
+# -- derived metrics --------------------------------------------------------
+
+
+def test_with_derived_adds_hit_rates_without_mutating_input():
+    totals = Counters(result_cache_hits=3, result_cache_misses=1,
+                      proj_cache_hits=1, proj_cache_misses=3)
+    derived = with_derived(totals)
+    assert derived["result_cache_hit_rate"] == pytest.approx(0.75)
+    assert derived["proj_cache_hit_rate"] == pytest.approx(0.25)
+    assert "result_cache_hit_rate" not in totals
+
+
+def test_with_derived_skips_ratios_with_no_lookups():
+    derived = with_derived(Counters(sat_attempts=2))
+    assert "result_cache_hit_rate" not in derived
+    assert derived["sat_attempts"] == 2
 
 
 def test_solve_result_builds_metrics_from_legacy_args():

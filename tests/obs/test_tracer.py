@@ -233,3 +233,165 @@ def test_absorb_without_sink_discards_journal_text():
     parent.absorb(worker.stats_dict(), worker_sink.getvalue())
     parent.close()  # must not raise
     assert parent.stats["module"].count == 1
+
+
+def _traced_worker(counter_value):
+    """A closed worker tracer with one ``module`` span and a metric set."""
+    sink = io.StringIO()
+    worker = Tracer(journal=sink, clock=FakeClock())
+    with worker.span("module", output=f"o{counter_value}"):
+        worker.add("decisions", counter_value)
+    worker.observe("cache_lookup_seconds", 0.001 * counter_value)
+    worker.gauge("peak_memory_bytes", 1000 * counter_value, span="module")
+    worker.close()
+    return worker, sink.getvalue()
+
+
+def test_absorb_merges_worker_histograms_and_gauges():
+    parent = Tracer(clock=FakeClock())
+    parent.observe("cache_lookup_seconds", 0.5)
+    parent.gauge("peak_memory_bytes", 1500, span="module")
+    for value in (1, 2):
+        worker, _text = _traced_worker(value)
+        parent.absorb(worker.stats_dict(), metrics=worker.metrics_dict())
+    hist = parent.histograms["cache_lookup_seconds"]
+    assert hist.count == 3
+    assert hist.total == pytest.approx(0.5 + 0.001 + 0.002)
+    gauge = parent.gauges["peak_memory_bytes{span='module'}"]
+    assert gauge.value == 2000.0  # the workers' peak beats the parent's
+
+
+def test_metrics_dict_round_trips_through_absorb():
+    worker, _text = _traced_worker(3)
+    snapshot = worker.metrics_dict()
+    # The snapshot must be JSON-serialisable (it crosses the process
+    # boundary in the worker result payload).
+    import json as _json
+
+    snapshot = _json.loads(_json.dumps(snapshot))
+    parent = Tracer(clock=FakeClock())
+    parent.absorb(metrics=snapshot)
+    assert parent.histograms["cache_lookup_seconds"].count == 1
+    assert parent.gauges["peak_memory_bytes{span='module'}"].value == 3000.0
+    assert Tracer(clock=FakeClock()).metrics_dict() == {}
+
+
+# -- retained events (keep_events) and multi-segment folding ----------------
+
+
+def test_keep_events_retains_header_and_records():
+    tracer = Tracer(clock=FakeClock(), keep_events=True)
+    with tracer.span("run"):
+        tracer.event("ping")
+    tracer.close()
+    kinds = [e["ev"] for e in tracer.events]
+    assert kinds == ["trace", "start", "point", "end"]
+    assert Tracer(clock=FakeClock()).events is None
+
+
+def test_three_worker_segments_fold_in_order_live_and_on_disk():
+    from repro.obs import build_forest
+    from repro.obs.journal import read_events, validate_events
+
+    parent_sink = io.StringIO()
+    parent = Tracer(journal=parent_sink, clock=FakeClock(),
+                    keep_events=True)
+    workers = [_traced_worker(value) for value in (1, 2, 3)]
+    with parent.span("run"):
+        for worker, text in workers:
+            # Absorbed mid-run, like _absorb_payload does at jobs=3.
+            parent.absorb(worker.stats_dict(), text,
+                          worker.metrics_dict())
+    parent.close()
+
+    # The live event view and the journal file must agree exactly:
+    # parent segment first, then the worker segments in absorb order.
+    file_events = read_events(io.StringIO(parent_sink.getvalue()))
+    assert parent.events == file_events
+    assert validate_events(parent.events) == []
+
+    roots = build_forest(parent.events)
+    assert [(r.name, r.segment) for r in roots] == [
+        ("run", 0), ("module", 1), ("module", 2), ("module", 3),
+    ]
+    outputs = [r.attrs.get("output") for r in roots[1:]]
+    assert outputs == ["o1", "o2", "o3"]
+
+
+def test_live_stats_match_stats_rebuilt_from_the_merged_journal():
+    from repro.obs import aggregate_events, stats_as_dict
+
+    parent_sink = io.StringIO()
+    parent = Tracer(journal=parent_sink, clock=FakeClock(),
+                    keep_events=True)
+    with parent.span("run"):
+        with parent.span("module", output="p"):
+            parent.add("decisions", 9)
+        for value in (1, 2, 3):
+            worker, text = _traced_worker(value)
+            parent.absorb(worker.stats_dict(), text)
+    parent.close()
+
+    rebuilt = aggregate_events(parent.events)
+    assert stats_as_dict(parent.stats) == stats_as_dict(rebuilt)
+    assert parent.stats["module"].count == 4
+    assert parent.counter_totals()["decisions"] == 9 + 1 + 2 + 3
+
+
+def test_absorb_tolerates_torn_journal_lines():
+    worker, text = _traced_worker(1)
+    torn = text[: text.rindex("\n") // 2]  # cut mid-record
+    parent = Tracer(clock=FakeClock(), keep_events=True)
+    parent.absorb(worker.stats_dict(), torn)
+    assert all(isinstance(e, dict) for e in parent.events)
+
+
+# -- automatic histograms and memory gauges ---------------------------------
+
+
+def test_span_close_fills_auto_histograms():
+    tracer = Tracer(clock=FakeClock(step=0.01))
+    with tracer.span("run"):
+        with tracer.span("module", output="x"):
+            with tracer.span("encode") as encode:
+                encode.add("num_clauses", 120)
+            with tracer.span("sat_attempt"):
+                pass
+    assert tracer.histograms["module_solve_seconds"].count == 1
+    assert tracer.histograms["sat_attempt_seconds"].count == 1
+    clauses = tracer.histograms["formula_clauses"]
+    assert clauses.count == 1
+    assert clauses.total == pytest.approx(120.0)
+
+
+def test_module_level_observe_and_gauge_route_to_installed_tracer():
+    obs.observe("cache_lookup_seconds", 0.5)  # disabled: no-op
+    obs.gauge("peak_memory_bytes", 1)
+    with obs.tracing(clock=FakeClock()) as tracer:
+        obs.observe("cache_lookup_seconds", 0.002)
+        obs.gauge("peak_memory_bytes", 2048, span="run")
+    assert tracer.histograms["cache_lookup_seconds"].count == 1
+    assert tracer.gauges["peak_memory_bytes{span='run'}"].value == 2048.0
+
+
+def test_memory_mode_records_peak_gauge_per_top_level_span():
+    tracer = Tracer(clock=FakeClock(), memory=True)
+    with tracer.span("run"):
+        _ballast = [bytearray(64 * 1024) for _ in range(4)]
+        with tracer.span("module"):
+            pass
+        del _ballast
+    tracer.close()
+    keys = [k for k in tracer.gauges if k.startswith("peak_memory_bytes")]
+    assert keys == ["peak_memory_bytes{span='run'}"]
+    assert tracer.gauges[keys[0]].value >= 4 * 64 * 1024
+
+
+def test_memory_mode_stops_tracemalloc_it_started():
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    tracer = Tracer(clock=FakeClock(), memory=True)
+    assert tracemalloc.is_tracing()
+    tracer.close()
+    assert not tracemalloc.is_tracing()

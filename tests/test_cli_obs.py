@@ -133,3 +133,102 @@ def test_summarize_trace_tool_reads_cli_journal(spec, tmp_path, capsys):
     bad.write_text(json.dumps({"ev": "start", "id": 1, "name": "x",
                                "t": 0.0}) + "\n")
     assert module.main([str(bad)]) == 1
+
+
+def _load_tool(name):
+    tool = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tools", f"{name}.py",
+    )
+    spec_ = importlib.util.spec_from_file_location(name, tool)
+    module = importlib.util.module_from_spec(spec_)
+    spec_.loader.exec_module(module)
+    return module
+
+
+def test_metrics_include_derived_hit_rates(spec, capsys):
+    assert main([spec, "--quiet", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "proj_cache_hit_rate" in out
+
+
+def test_metrics_tree_prints_span_hierarchy(spec, capsys):
+    assert main([spec, "--quiet", "--metrics-tree"]) == 0
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    assert any(line.startswith("span") for line in lines)  # table header
+    assert any(line.startswith("run") for line in lines)
+    assert any(line.startswith("  module") for line in lines)  # indented
+
+
+def test_metrics_prom_writes_valid_exposition_page(spec, tmp_path, capsys):
+    from repro.obs import validate_prometheus_text
+
+    prom = tmp_path / "metrics.prom"
+    assert main([spec, "--quiet", "--metrics-prom", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote {prom}" in out
+    page = prom.read_text()
+    assert validate_prometheus_text(page) == []
+    assert "repro_sat_attempts_total" in page
+    assert "# TYPE repro_module_solve_seconds histogram" in page
+    assert 'repro_module_solve_seconds_bucket{le="+Inf"}' in page
+
+
+def test_trace_memory_records_peak_gauges(spec, tmp_path, capsys):
+    prom = tmp_path / "metrics.prom"
+    assert main([spec, "--quiet", "--trace-memory",
+                 "--metrics-prom", str(prom)]) == 0
+    capsys.readouterr()
+    page = prom.read_text()
+    assert 'repro_peak_memory_bytes{span="run"}' in page
+
+
+def test_trace_gz_journal_round_trips(spec, tmp_path, capsys):
+    trace = tmp_path / "run.jsonl.gz"
+    assert main([spec, "--quiet", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    import gzip
+
+    with gzip.open(str(trace), "rt") as handle:  # genuinely gzipped
+        assert json.loads(handle.readline())["ev"] == "trace"
+    events = load_journal(str(trace))
+    assert "run" in {e.get("name") for e in events}
+
+
+def test_summarize_trace_diagnoses_truncated_journal(spec, tmp_path,
+                                                     capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main([spec, "--quiet", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    torn = tmp_path / "torn.jsonl"
+    text = trace.read_text()
+    torn.write_text(text[: len(text) // 2])  # cut mid-record
+
+    module = _load_tool("summarize_trace")
+    assert module.main([str(torn)]) == 1
+    captured = capsys.readouterr()
+    assert "skipped" in captured.err
+    assert "line" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_analyze_trace_tool_attributes_parallel_journal(spec, tmp_path,
+                                                        capsys):
+    trace = tmp_path / "jobs.jsonl"
+    assert main([spec, "--quiet", "--jobs", "2",
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+
+    module = _load_tool("analyze_trace")
+    folded = tmp_path / "jobs.folded"
+    chrome = tmp_path / "jobs.chrome.json"
+    assert module.main([str(trace), "--verify",
+                        "--flamegraph", str(folded),
+                        "--chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert "total" in out and "self" in out  # the critical-path hops
+    assert "worker" in out  # the dispatch section saw the segments
+    assert folded.read_text().strip()
+    document = json.loads(chrome.read_text())
+    assert document["traceEvents"]

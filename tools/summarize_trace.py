@@ -5,10 +5,12 @@ Usage::
     python tools/summarize_trace.py TRACE.jsonl [--top N] [--counters]
                                                 [--require COUNTER]
 
-Validates the journal first (header, nesting, monotonic timestamps) and
-exits 1 with the problems listed when it is malformed, so CI can gate on
-journal well-formedness with the same command developers use to read
-one.  The aggregation is :func:`repro.obs.aggregate_events` -- the exact
+Reads plain or gzipped journals (``.gz`` suffix).  Validates the
+journal first (header, nesting, monotonic timestamps) and exits 1 with
+the problems listed when it is malformed, so CI can gate on journal
+well-formedness with the same command developers use to read one.  A
+truncated or corrupt line produces a one-line diagnostic with the
+skipped-line count -- never a traceback.  The aggregation is :func:`repro.obs.aggregate_events` -- the exact
 fold the live tracer maintains for ``--metrics``/``--profile-top``.
 ``--require COUNTER`` (repeatable) additionally exits 1 when the named
 counter total is missing or zero -- CI uses it to assert, e.g., that a
@@ -35,7 +37,7 @@ from repro.obs import (  # noqa: E402  (path bootstrap above)
     counter_totals,
     format_counters,
     format_profile,
-    read_events,
+    read_events_tolerant,
     validate_events,
 )
 
@@ -58,9 +60,18 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     try:
-        events = read_events(args.journal)
+        events, skipped = read_events_tolerant(args.journal)
     except OSError as exc:
         print(f"error: cannot read {args.journal}: {exc}", file=sys.stderr)
+        return 1
+    if skipped:
+        # One line, not a traceback: a truncated journal (crashed or
+        # still-running producer) is an expected failure mode.
+        print(
+            f"error: {args.journal}: skipped {len(skipped)} bad journal "
+            f"line(s); first: {skipped[0]}",
+            file=sys.stderr,
+        )
         return 1
     problems = validate_events(events)
     if problems:
