@@ -18,6 +18,7 @@ from repro.csc.direct import direct_synthesis
 from repro.csc.errors import BacktrackLimitError, SynthesisError
 from repro.csc.synthesis import modular_synthesis
 from repro.sat.solver import Limits
+from repro.runtime.options import SynthesisOptions
 
 ENGINES = ["dpll", "cdcl", "hybrid", "bdd"]
 MEDIUM = "mmu1"
@@ -33,7 +34,8 @@ def test_modular_engine(benchmark, state_graphs, engine):
     def flow():
         try:
             return modular_synthesis(
-                graph, minimize=False, engine=engine
+                graph,
+                options=SynthesisOptions(minimize=False, engine=engine),
             )
         except SynthesisError as exc:
             # The paper-era chronological solver can fail to decide the
@@ -60,7 +62,10 @@ def test_direct_engine(benchmark, state_graphs, engine):
     def flow():
         try:
             return direct_synthesis(
-                graph, limits=ABLATION_LIMITS, minimize=False, engine=engine
+                graph,
+                options=SynthesisOptions(
+                    limits=ABLATION_LIMITS, minimize=False, engine=engine
+                ),
             )
         except BacktrackLimitError as exc:
             return exc
@@ -78,7 +83,8 @@ def test_direct_engine(benchmark, state_graphs, engine):
 def test_polish_ablation(benchmark, state_graphs, polish):
     graph = state_graphs(MEDIUM)
     result = run_once(
-        benchmark, modular_synthesis, graph, polish=polish
+        benchmark, modular_synthesis, graph,
+        options=SynthesisOptions(polish=polish),
     )
     benchmark.extra_info.update(
         {
@@ -98,7 +104,9 @@ def test_implementation_style(benchmark, state_graphs, style):
     from repro.logic.extract import synthesize_logic
 
     graph = state_graphs(MEDIUM)
-    result = modular_synthesis(graph, minimize=False)
+    result = modular_synthesis(
+        graph, options=SynthesisOptions(minimize=False)
+    )
 
     def realise():
         if style == "complex-gate":

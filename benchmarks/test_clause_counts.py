@@ -19,6 +19,7 @@ from repro.csc.sat_csc import build_csc_formula
 from repro.csc.synthesis import modular_synthesis
 from repro.stategraph.csc import csc_lower_bound
 from repro.stategraph.quotient import quotient
+from repro.runtime.options import SynthesisOptions
 
 LARGE = ["mmu0", "mr0"]
 ALL_LARGE = ["mmu0", "mr1", "mr0"]
@@ -88,7 +89,9 @@ def test_clause_ratio_orders_of_magnitude(benchmark, state_graphs, name):
 
     def ratio():
         direct = direct_formula(graph).num_clauses
-        result = modular_synthesis(graph, minimize=False)
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=False)
+        )
         largest_modular = max(
             clauses for clauses, _vars in result.formula_sizes()
         )

@@ -18,6 +18,7 @@ from repro.csc.synthesis import modular_synthesis
 from repro.sat.solver import Limits
 from repro.stategraph.build import build_state_graph
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 WIDTHS = [1, 2, 3]
 
@@ -58,7 +59,10 @@ def graphs():
 @pytest.mark.parametrize("width", WIDTHS)
 def test_modular_scaling(benchmark, graphs, width):
     graph = graphs[width]
-    result = run_once(benchmark, modular_synthesis, graph, minimize=False)
+    result = run_once(
+        benchmark, modular_synthesis, graph,
+        options=SynthesisOptions(minimize=False),
+    )
     benchmark.extra_info.update(
         {
             "width": width,
@@ -76,7 +80,10 @@ def test_direct_scaling(benchmark, graphs, width):
     def flow():
         try:
             return direct_synthesis(
-                graph, limits=DIRECT_LIMITS, minimize=False, engine="dpll"
+                graph,
+                options=SynthesisOptions(
+                    limits=DIRECT_LIMITS, minimize=False, engine="dpll"
+                ),
             )
         except BacktrackLimitError as exc:
             return exc

@@ -12,6 +12,7 @@ from repro.bench.suite import benchmark_names
 from repro.csc.direct import direct_synthesis
 from repro.csc.errors import BacktrackLimitError
 from repro.sat.solver import Limits
+from repro.runtime.options import SynthesisOptions
 
 #: The stand-in for the paper's backtrack limit / 3600 s abort.
 DIRECT_LIMITS = Limits(max_backtracks=150_000, max_seconds=30.0)
@@ -31,7 +32,10 @@ def test_direct(benchmark, state_graphs, name):
     def flow():
         try:
             return direct_synthesis(
-                graph, limits=DIRECT_LIMITS, engine=DIRECT_ENGINE
+                graph,
+                options=SynthesisOptions(
+                    limits=DIRECT_LIMITS, engine=DIRECT_ENGINE
+                ),
             )
         except BacktrackLimitError as exc:
             return exc

@@ -20,7 +20,7 @@ from repro.logic import equations
 from repro.logic.extract import next_state_tables
 from repro.logic.hazards import hazard_free_patch, static_hazards
 from repro.stategraph import build_state_graph, csc_conflicts
-from repro.stg import parse_g, validate_stg
+from repro.stg import load_stg, validate_stg
 from repro.verify import verify_synthesis
 
 
@@ -41,7 +41,7 @@ def design_stg():
     )
     print("generated .g specification:\n")
     print(text)
-    return parse_g(text)
+    return load_stg(text)
 
 
 def main():

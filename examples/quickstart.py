@@ -12,7 +12,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import modular_synthesis, parse_g
+from repro import load_stg, modular_synthesis
 from repro.logic import equations
 
 SPEC = """
@@ -32,7 +32,7 @@ done- req+
 
 
 def main():
-    stg = parse_g(SPEC)
+    stg = load_stg(SPEC)
     print(f"specification: {stg.name}")
     print(f"  inputs : {', '.join(stg.inputs)}")
     print(f"  outputs: {', '.join(stg.outputs)}")

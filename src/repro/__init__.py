@@ -21,7 +21,13 @@ The public API is re-exported here; see the subpackages for details:
 """
 
 from repro.petrinet import Marking, PetriNet
-from repro.stg import SignalTransitionGraph, SignalType, parse_g, write_g
+from repro.stg import (
+    SignalTransitionGraph,
+    SignalType,
+    load_stg,
+    parse_g,
+    write_g,
+)
 from repro.stategraph import StateGraph, build_state_graph, csc_conflicts
 from repro.csc import (
     DirectResult,
@@ -39,8 +45,10 @@ __version__ = "1.0.0"
 def synthesize(stg, method="modular", options=None):
     """Synthesise ``stg`` with one call: the recommended entry point.
 
-    A thin facade over :func:`repro.runtime.run.run_synthesis`: pick a
-    ``method`` (``"modular"``, ``"direct"`` or ``"lavagno"``), tune it
+    A thin facade over :func:`repro.runtime.run.run_synthesis`: hand it
+    anything :func:`repro.stg.load.load_stg` accepts (a parsed STG, a
+    ``.g`` file path, or raw ``.g`` text), pick a ``method``
+    (``"modular"``, ``"direct"`` or ``"lavagno"``), tune it
     with a :class:`~repro.runtime.options.SynthesisOptions`, and get a
     :class:`~repro.runtime.report.RunReport` back -- ``report.result``
     holds the method's result object, ``report.status`` /
@@ -74,6 +82,7 @@ __all__ = [
     "direct_synthesis",
     "espresso",
     "literal_count",
+    "load_stg",
     "modular_synthesis",
     "parse_g",
     "synthesize",

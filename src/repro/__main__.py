@@ -2,12 +2,23 @@
 
 Usage::
 
-    python -m repro SPEC.g [options]
+    python -m repro SPEC.g [options]     synthesise one specification
+    python -m repro serve [options]      run the HTTP synthesis service
+    python -m repro generate [options]   emit random live/safe STGs
 
-Reads an astg ``.g`` specification, synthesises it with the modular
-partitioning method (or a chosen alternative), verifies the result at
-gate level, and prints the next-state equations -- optionally writing a
-BLIF netlist.
+The first positional argument selects the mode: the literal words
+``serve`` and ``generate`` dispatch to the service front end
+(:mod:`repro.service`) and the synthetic workload generator
+(:mod:`repro.stg.generate`); anything else is a ``.g`` specification
+path, preserving the historical single-spec invocation byte for byte.
+
+Synthesis mode reads an astg ``.g`` specification, synthesises it with
+the modular partitioning method (or a chosen alternative), verifies
+the result at gate level, and prints the next-state equations --
+optionally writing a BLIF netlist.  With ``--json`` the human
+narration is replaced by one canonical ``repro-api/1`` response
+document on stdout (the same bytes the service serves), leaving exit
+codes and stderr diagnostics untouched.
 
 Options:
 
@@ -31,6 +42,9 @@ Options:
 ``--blif PATH``                       write the circuit netlist
 ``--no-verify``                       skip the conformance model check
 ``--quiet``                           only print the summary line
+``--json``                            print the run as one repro-api/1
+                                      response document instead of the
+                                      human narration
 ``--trace FILE.jsonl``                write the span journal to FILE
                                       (``.gz`` suffix gzips it)
 ``--metrics``                        print run-wide counter totals
@@ -62,6 +76,8 @@ successfully but degrades still exits 2.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro import obs
@@ -71,13 +87,19 @@ from repro.runtime.budget import Budget
 from repro.runtime.options import SynthesisOptions
 from repro.runtime.report import RUN_ERROR, RUN_TIMEOUT
 from repro.runtime.run import run_synthesis
-from repro.stg import parse_g_file, validate_stg
+from repro.stg import load_stg, validate_stg
 from repro.verify import verify_synthesis
 
 _METHODS = ("modular", "direct", "lavagno")
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "generate":
+        return _generate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Synthesise an asynchronous circuit from an STG.",
@@ -140,6 +162,11 @@ def main(argv=None):
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--quiet", action="store_true")
     parser.add_argument(
+        "--json", action="store_true",
+        help="print one repro-api/1 response document on stdout instead "
+             "of the human summary and equations",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE.jsonl", default=None,
         help="write a JSONL span journal (written even under --quiet)",
     )
@@ -166,7 +193,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     try:
-        stg = parse_g_file(args.spec)
+        stg = load_stg(args.spec)
         validate_stg(stg)
     except OSError as exc:
         print(f"error: cannot read {args.spec}: {exc}", file=sys.stderr)
@@ -214,14 +241,17 @@ def _run(args, stg, tracer):
 
     if report.status == RUN_ERROR:
         print(f"error: {report.error.describe()}", file=sys.stderr)
+        _print_json(args, report, stg)
         return 1
     if report.status == RUN_TIMEOUT:
         print(f"timeout: {report.summary()}", file=sys.stderr)
         _print_modules(report)
+        _print_json(args, report, stg)
         return 3
 
     result = report.result
     degraded = bool(report.degraded_modules or report.skipped_modules)
+    conforms = None
     verified = ""
     if not args.no_verify:
         if budget.expired():
@@ -231,35 +261,161 @@ def _run(args, stg, tracer):
             degraded = True
         else:
             check = verify_synthesis(result, stg)
+            conforms = check.conforms
             if not check.conforms:
                 print(
                     f"error: synthesised circuit does not conform: "
                     f"{check.violations[:3]}",
                     file=sys.stderr,
                 )
+                _print_json(args, report, stg, verified=False)
                 return 1
             verified = ", conformance verified"
 
-    print(
-        f"{stg.name}: {result.initial_states} -> {result.final_states} "
-        f"states, {result.initial_signals} -> {result.final_signals} "
-        f"signals, {result.literals} literals, "
-        f"{result.seconds:.2f}s ({args.method}/{args.engine}{verified})"
-    )
-    if not args.quiet:
-        for line in equations(result.covers, result.expanded.signals):
-            print(f"  {line}")
+    if args.json:
+        _print_json(args, report, stg, verified=conforms)
+    else:
+        print(
+            f"{stg.name}: {result.initial_states} -> "
+            f"{result.final_states} states, {result.initial_signals} -> "
+            f"{result.final_signals} signals, {result.literals} literals, "
+            f"{result.seconds:.2f}s ({args.method}/{args.engine}{verified})"
+        )
+        if not args.quiet:
+            for line in equations(result.covers, result.expanded.signals):
+                print(f"  {line}")
 
     if args.blif:
         text = write_synthesis_blif(result, stg.inputs, model=stg.name)
         with open(args.blif, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"wrote {args.blif}")
+        if not args.json:
+            print(f"wrote {args.blif}")
 
     if degraded:
         print(f"degraded: {report.summary()}", file=sys.stderr)
         _print_modules(report, only_degraded=True)
         return 2
+    return 0
+
+
+def _print_json(args, report, stg, verified=None):
+    """The ``--json`` document on stdout (stdout carries nothing else)."""
+    if not args.json:
+        return
+    from repro import api
+
+    response = api.response_from_report(
+        report, model=stg.name, verified=verified
+    )
+    print(api.to_json_bytes(response).decode("utf-8"))
+
+
+def _serve_main(argv):
+    """``python -m repro serve``: run the HTTP synthesis service."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve synthesis over HTTP (POST /synthesize, "
+                    "GET /metrics, GET /healthz).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 picks a free one (printed on the ready line)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="shared result-cache directory: whole responses replay "
+             "from it and workers reuse its module/artifact records",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes, i.e. the bound on concurrently "
+             "executing requests",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the gate-level conformance check on each result",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread", "inline"],
+        default="process",
+        help="worker pool flavour (thread/inline are for tests and "
+             "debugging; process is the real deployment)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import run_server
+
+    return run_server(
+        host=args.host, port=args.port, cache_dir=args.cache_dir,
+        jobs=args.jobs, verify=not args.no_verify, executor=args.executor,
+    )
+
+
+def _generate_main(argv):
+    """``python -m repro generate``: emit random live/safe STGs."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro generate",
+        description="Generate random live/safe free-choice STGs "
+                    "(.g text on stdout, or files under --out-dir).",
+    )
+    parser.add_argument("--count", type=int, default=1, metavar="N")
+    parser.add_argument("--signals", type=int, default=6, metavar="N")
+    parser.add_argument(
+        "--width", type=int, default=2, metavar="N",
+        help="maximum concurrent branches per Par phase (1 disables "
+             "concurrency)",
+    )
+    parser.add_argument(
+        "--csc-density", type=float, default=0.0, metavar="P",
+        help="probability in [0,1] of a CSC-conflict echo tail per phase",
+    )
+    parser.add_argument("--seed", type=int, default=0, metavar="N")
+    parser.add_argument(
+        "--out-dir", metavar="PATH", default=None,
+        help="write one <name>.g file per circuit instead of stdout",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print one JSON line of structure stats per circuit "
+             "on stderr",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.stg.generate import generate_corpus
+
+    try:
+        corpus = generate_corpus(
+            args.count, signals=args.signals, width=args.width,
+            csc_density=args.csc_density, seed=args.seed,
+        )
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            for generated in corpus:
+                path = os.path.join(args.out_dir, f"{generated.name}.g")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(generated.g_text)
+            print(f"wrote {len(corpus)} circuits to {args.out_dir}")
+        else:
+            for generated in corpus:
+                sys.stdout.write(generated.g_text)
+    except BrokenPipeError:
+        # Downstream (e.g. ``| head``) closed the pipe; that is its
+        # prerogative, not an error worth a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    if args.stats:
+        for generated in corpus:
+            line = {"name": generated.name, "seed": generated.seed}
+            line.update(generated.stats())
+            print(json.dumps(line, sort_keys=True), file=sys.stderr)
     return 0
 
 

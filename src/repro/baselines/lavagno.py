@@ -95,7 +95,7 @@ class LavagnoResult:
         )
 
 
-def lavagno_synthesis(stg, options=None, **legacy):
+def lavagno_synthesis(stg, options=None):
     """Synthesise by sequential whole-graph state-signal insertion.
 
     Parameters
@@ -108,9 +108,6 @@ def lavagno_synthesis(stg, options=None, **legacy):
         reads ``limits`` (SAT budget per round), ``minimize`` (also
         derive covers and literal counts), ``engine`` and
         ``signal_prefix`` (default ``"lm"``).
-    **legacy:
-        The pre-options keyword arguments, still accepted with a
-        :class:`DeprecationWarning`.
 
     Returns
     -------
@@ -118,7 +115,7 @@ def lavagno_synthesis(stg, options=None, **legacy):
     """
     from repro.runtime.options import coerce_options
 
-    opts = coerce_options(options, legacy, "lavagno_synthesis")
+    opts = coerce_options(options, "lavagno_synthesis")
     limits = opts.limits
     engine = opts.engine
     signal_prefix = opts.resolved_prefix("lm")

@@ -15,7 +15,7 @@ import sys
 from pathlib import Path
 
 from repro.bench.specs import SPEC_BUILDERS, generate
-from repro.stg.parse import parse_g
+from repro.stg.load import load_stg
 from repro.stg.validate import validate_stg
 
 
@@ -30,7 +30,7 @@ def main(argv=None):
     target = data_dir()
     for name in names:
         text = generate(name)
-        stg = parse_g(text, name_hint=name)
+        stg = load_stg(text, name_hint=name)
         validate_stg(stg, require_live=True)
         path = target / f"{name}.g"
         path.write_text(text, encoding="utf-8")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from importlib import resources
 
-from repro.stg.parse import parse_g
+from repro.stg.load import load_stg
 
 
 class PaperMethod:
@@ -185,4 +185,4 @@ def load_benchmark(name):
         from repro.bench.specs import generate
 
         text = generate(name)
-    return parse_g(text, name_hint=name)
+    return load_stg(text, name_hint=name)

@@ -129,7 +129,7 @@ def solve_csc_direct(graph, limits=None, max_signals=DEFAULT_MAX_SIGNALS,
     )
 
 
-def direct_synthesis(stg, options=None, **legacy):
+def direct_synthesis(stg, options=None):
     """Run the full direct flow: state graph, monolithic SAT, expansion.
 
     Parameters
@@ -144,9 +144,6 @@ def direct_synthesis(stg, options=None, **legacy):
         paper's aborted runs), ``minimize``, ``max_signals``,
         ``signal_prefix``, ``engine``, ``polish``, ``budget`` and
         ``fallback``.
-    **legacy:
-        The pre-options keyword arguments, still accepted with a
-        :class:`DeprecationWarning`.
 
     Returns
     -------
@@ -154,7 +151,7 @@ def direct_synthesis(stg, options=None, **legacy):
     """
     from repro.runtime.options import coerce_options
 
-    opts = coerce_options(options, legacy, "direct_synthesis")
+    opts = coerce_options(options, "direct_synthesis")
     watch = Stopwatch()
     budget = opts.budget
     if isinstance(stg, StateGraph):

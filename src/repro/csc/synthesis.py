@@ -146,7 +146,7 @@ class ModularResult:
         )
 
 
-def modular_synthesis(stg, options=None, **legacy):
+def modular_synthesis(stg, options=None):
     """Synthesise an STG with the paper's modular partitioning method.
 
     Parameters
@@ -179,9 +179,6 @@ def modular_synthesis(stg, options=None, **legacy):
           of every module is recorded in ``result.report``;
           degraded/skipped outputs have no :class:`ModuleReport` in
           ``result.modules``.
-    **legacy:
-        The pre-options keyword arguments (``limits=``, ``minimize=``,
-        ...), still accepted with a :class:`DeprecationWarning`.
 
     All projections of one run -- the ordering pre-scan, every greedy
     input-set trial, the partition fallback ladder -- go through one
@@ -192,7 +189,7 @@ def modular_synthesis(stg, options=None, **legacy):
     -------
     ModularResult
     """
-    opts = coerce_options(options, legacy, "modular_synthesis")
+    opts = coerce_options(options, "modular_synthesis")
     watch = Stopwatch()
     limits = opts.resolved_limits(DEFAULT_MODULAR_LIMITS)
     max_signals = opts.resolved_max_signals(DEFAULT_MAX_SIGNALS)

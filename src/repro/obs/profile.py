@@ -128,6 +128,7 @@ def counter_totals(stats):
 _HIT_RATES = {
     "result_cache_hit_rate": ("result_cache_hits", "result_cache_misses"),
     "proj_cache_hit_rate": ("proj_cache_hits", "proj_cache_misses"),
+    "service_cache_hit_rate": ("service_cache_hits", "service_cache_misses"),
 }
 
 

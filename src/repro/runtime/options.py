@@ -12,10 +12,11 @@ dataclass accepted by :func:`~repro.csc.synthesis.modular_synthesis`,
 :func:`~repro.runtime.run.run_synthesis`, and the top-level
 :func:`repro.synthesize` facade.
 
-The old keywords keep working through :func:`coerce_options`, which
-every entry point routes its ``**legacy`` through: passing them emits a
-:class:`DeprecationWarning` naming the replacement, and mixing them
-with an explicit ``options=`` is an error (the call would be ambiguous).
+The old keywords are gone: after one deprecation cycle (the PR-3 shims
+warned with :class:`DeprecationWarning`), passing them is a plain
+:class:`TypeError`.  :func:`coerce_options` now only validates the
+``options=`` value and fills per-caller defaults, so
+:class:`SynthesisOptions` is the single options surface.
 
 Fields whose natural default differs per method (``signal_prefix`` is
 ``"csc"`` for the SAT methods but ``"lm"`` for the Lavagno baseline;
@@ -27,7 +28,6 @@ from the synthesis layers, so they can all import it at load time.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 
 
@@ -159,52 +159,33 @@ class SynthesisOptions:
         return self.limits if self.limits is not None else default
 
 
-#: Field names legacy keyword arguments may use.
+#: Names of every :class:`SynthesisOptions` field.
 OPTION_FIELDS = frozenset(f.name for f in fields(SynthesisOptions))
 
 
-def coerce_options(options, legacy, caller, legacy_defaults=None):
-    """Resolve an ``options=`` value and legacy ``**kwargs`` into one.
+def coerce_options(options, caller, defaults=None, legacy=None):
+    """Validate an ``options=`` value; fill per-caller defaults.
 
-    * ``options`` given, no legacy keywords: returned as-is.
-    * legacy keywords only: folded into a fresh
-      :class:`SynthesisOptions`, with a :class:`DeprecationWarning`
-      naming the caller and the replacement.
-    * both: :class:`TypeError` -- the call would be ambiguous.
-    * neither: the defaults.
+    * ``options`` given: type-checked and returned as-is.
+    * ``options is None``: a fresh :class:`SynthesisOptions` built from
+      ``defaults`` (a caller whose historical no-argument behaviour
+      differs from the dataclass defaults -- ``run_synthesis`` keeps
+      ``fallback=True`` -- preserves it here).
 
-    ``legacy_defaults`` lets a caller whose historical keyword defaults
-    differ from the dataclass defaults (``run_synthesis`` defaulted
-    ``fallback=True``) preserve them on the legacy and no-argument
-    paths; an explicit ``options=`` is always taken verbatim.
-
-    ``stacklevel=3`` points the warning at the caller of the synthesis
-    function, not at the function or this helper.
+    ``legacy`` is the removed PR-3 keyword shim's slot: any non-empty
+    mapping raises :class:`TypeError` naming the replacement.  Entry
+    points dropped their ``**legacy`` catch-alls, so stray keywords now
+    fail at the call site; this parameter remains only so an API
+    wrapper forwarding a keyword dict gets the same one-line diagnosis.
     """
     if legacy:
-        unknown = sorted(set(legacy) - OPTION_FIELDS)
-        if unknown:
-            raise TypeError(
-                f"{caller}() got unexpected keyword argument(s): "
-                f"{', '.join(unknown)}"
-            )
-        if options is not None:
-            raise TypeError(
-                f"{caller}() takes either options= or legacy synthesis "
-                f"keywords, not both"
-            )
         named = ", ".join(sorted(legacy))
-        warnings.warn(
-            f"passing synthesis keywords ({named}) to {caller}() is "
-            f"deprecated; pass options=SynthesisOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            f"{caller}() no longer accepts synthesis keywords "
+            f"({named}); pass options=SynthesisOptions(...) instead"
         )
-        merged = dict(legacy_defaults or {})
-        merged.update(legacy)
-        return SynthesisOptions(**merged)
     if options is None:
-        return SynthesisOptions(**(legacy_defaults or {}))
+        return SynthesisOptions(**(defaults or {}))
     if not isinstance(options, SynthesisOptions):
         raise TypeError(
             f"{caller}() options must be a SynthesisOptions, "

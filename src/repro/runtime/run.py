@@ -23,13 +23,15 @@ from repro.runtime.report import (
 from repro.runtime.supervise import WorkerCrashError
 
 
-def run_synthesis(stg, method="modular", options=None, **legacy):
+def run_synthesis(stg, method="modular", options=None):
     """Synthesise ``stg`` under a global budget; never raise a ReproError.
 
     Parameters
     ----------
     stg:
-        A :class:`~repro.stg.model.SignalTransitionGraph` or a prebuilt
+        Anything :func:`repro.stg.load.load_stg` accepts -- a
+        :class:`~repro.stg.model.SignalTransitionGraph`, a ``.g`` file
+        path or raw ``.g`` source text -- or a prebuilt
         :class:`~repro.stategraph.graph.StateGraph`.
     method:
         ``"modular"`` (the paper's), ``"direct"`` (Vanbekbergen-style
@@ -40,11 +42,6 @@ def run_synthesis(stg, method="modular", options=None, **legacy):
         historically resilient defaults: the engine-fallback ladder is
         on and, for the modular method, drives per-output graceful
         degradation.
-    **legacy:
-        The pre-options keyword arguments (``engine``, ``budget``,
-        ``fallback``, ``minimize``, ``limits``), still accepted with a
-        :class:`DeprecationWarning`.  On this path ``degrade`` follows
-        ``fallback`` for the modular method, as it always did.
 
     Returns
     -------
@@ -58,12 +55,16 @@ def run_synthesis(stg, method="modular", options=None, **legacy):
     from repro.baselines import lavagno_synthesis
     from repro.csc import direct_synthesis, modular_synthesis
     from repro.runtime.options import coerce_options
+    from repro.stategraph.graph import StateGraph
+    from repro.stg.load import load_stg
 
     opts = coerce_options(
-        options, legacy, "run_synthesis", legacy_defaults={"fallback": True}
+        options, "run_synthesis", defaults={"fallback": True}
     )
-    if options is None and "degrade" not in legacy:
+    if options is None:
         opts = opts.evolve(degrade=opts.fallback)
+    if not isinstance(stg, StateGraph):
+        stg = load_stg(stg)
 
     budget = opts.budget
     if budget is None:

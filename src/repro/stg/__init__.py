@@ -20,6 +20,8 @@ from repro.stg.model import (
     SignalType,
     TransitionLabel,
 )
+from repro.stg.generate import GeneratedStg, generate_corpus, generate_stg
+from repro.stg.load import load_stg
 from repro.stg.parse import parse_g, parse_g_file
 from repro.stg.write import write_g
 from repro.stg.canonical import canonical_g, g_fingerprint
@@ -30,6 +32,7 @@ __all__ = [
     "DUMMY",
     "FALL",
     "GFormatError",
+    "GeneratedStg",
     "RISE",
     "SignalTransitionGraph",
     "SignalType",
@@ -38,7 +41,10 @@ __all__ = [
     "TransitionLabel",
     "canonical_g",
     "g_fingerprint",
+    "generate_corpus",
+    "generate_stg",
     "hide_signals",
+    "load_stg",
     "mirror_signals",
     "parse_g",
     "parse_g_file",

@@ -1,0 +1,211 @@
+"""Random live/safe free-choice STG generator.
+
+The Table-1 corpus is 23 circuits; a service worth load-testing needs
+thousands.  :func:`generate_stg` grows that corpus synthetically: it
+assembles a random *phase cycle* from the same structural vocabulary the
+bench generator (:mod:`repro.bench.generators`) distils out of the real
+benchmarks -- return-to-zero handshake branches, ``Par`` forks, and
+free-choice ``Choice`` splits -- so every generated net is live, safe,
+and free-choice *by construction*, and :func:`generate_stg` verifies all
+three before returning.
+
+Knobs:
+
+* ``signals`` -- target count of handshake signals (one input + one
+  output per handshake pair; echo outputs come on top).
+* ``width`` -- maximum branches of a ``Par`` fork (1 disables
+  concurrency).
+* ``csc_density`` -- probability that a phase is followed by an *echo
+  tail*, an output pulse ``e+ e-`` that re-uses the state code of the
+  cycle's restart point and thereby plants the classic CSC conflict.
+  0.0 generates CSC-clean controllers; 1.0 echoes after every phase.
+* ``seed`` -- the full structure is a deterministic function of the
+  knobs and the seed.
+
+Exposed on the CLI as ``python -m repro generate``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.generators import Choice, Par, build_g
+
+
+@dataclass(frozen=True)
+class GeneratedStg:
+    """One generated circuit: its ``.g`` source plus structure stats.
+
+    ``stg`` holds the parsed and validated
+    :class:`~repro.stg.model.SignalTransitionGraph`; ``g_text`` the
+    exact source that parses to it.  The counters describe the
+    structure the knobs produced (phases by kind, echo tails planted).
+    """
+
+    name: str
+    g_text: str
+    stg: object
+    seed: int
+    signals: int
+    pairs: int
+    par_phases: int
+    choice_phases: int
+    plain_phases: int
+    echoes: int
+
+    def stats(self):
+        """Structure counters as a plain dict (for journals/BENCH rows)."""
+        return {
+            "signals": self.signals,
+            "pairs": self.pairs,
+            "par_phases": self.par_phases,
+            "choice_phases": self.choice_phases,
+            "plain_phases": self.plain_phases,
+            "echoes": self.echoes,
+        }
+
+
+def generate_stg(signals=6, width=2, csc_density=0.0, seed=0, name=None,
+                 validate=True):
+    """Generate one random live/safe free-choice STG.
+
+    Parameters
+    ----------
+    signals:
+        Target handshake signal count (>= 2); rounded down to whole
+        input/output pairs.  Echo outputs planted by ``csc_density``
+        add to the final count.
+    width:
+        Maximum concurrent branches per ``Par`` phase (>= 1).
+    csc_density:
+        Probability in [0, 1] of an echo tail after each phase.
+    seed:
+        Seed for the structure; the same knobs and seed always return
+        the same circuit.
+    name:
+        Model name (default ``gen-s<signals>-w<width>-<seed>``).
+    validate:
+        Re-check liveness, safeness, free-choice and STG consistency on
+        the parsed net (on by default; the load-test generator leaves
+        it on, it is cheap at these sizes).
+
+    Returns
+    -------
+    GeneratedStg
+    """
+    if signals < 2:
+        raise ValueError(f"signals must be >= 2, not {signals!r}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, not {width!r}")
+    if not 0.0 <= csc_density <= 1.0:
+        raise ValueError(
+            f"csc_density must be in [0, 1], not {csc_density!r}"
+        )
+
+    rng = random.Random(seed)
+    pairs = max(1, signals // 2)
+    if name is None:
+        name = f"gen-s{signals}-w{width}-{seed}"
+
+    def handshake(k):
+        """Return-to-zero handshake of pair ``k``: req in, ack out."""
+        return [f"a{k}+", f"b{k}+", f"a{k}-", f"b{k}-"]
+
+    # Pair 0 frames the cycle (build_g needs plain first/last events);
+    # the remaining pairs are grouped into random phases.
+    cycle = [f"a0+", f"b0+"]
+    par_phases = choice_phases = plain_phases = 0
+    echoes = 0
+    remaining = list(range(1, pairs))
+    rng.shuffle(remaining)
+
+    def maybe_echo():
+        """Plant an echo tail (an output pulse) after the last phase."""
+        nonlocal echoes
+        if rng.random() < csc_density:
+            echoes += 1
+            cycle.append(f"e{echoes}+")
+            cycle.append(f"e{echoes}-")
+
+    while remaining:
+        take = min(len(remaining), max(2, min(width, len(remaining))))
+        kind = rng.random()
+        if width > 1 and len(remaining) >= 2 and kind < 0.4:
+            branches = [handshake(remaining.pop()) for _ in range(take)]
+            cycle.append(Par(*branches))
+            par_phases += 1
+        elif len(remaining) >= 2 and kind < 0.7:
+            alternatives = [handshake(remaining.pop()) for _ in range(2)]
+            cycle.append(Choice(*alternatives))
+            choice_phases += 1
+        else:
+            cycle.extend(handshake(remaining.pop()))
+            plain_phases += 1
+        # A block must sit between plain events: close it with the next
+        # framing edge before another block can start.  The echo pulse
+        # doubles as that plain separator when one is planted.
+        maybe_echo()
+        if remaining and not isinstance(cycle[-1], str):
+            k = remaining.pop()
+            cycle.extend(handshake(k))
+            plain_phases += 1
+            maybe_echo()
+
+    if not isinstance(cycle[-1], str):
+        maybe_echo()
+    cycle.extend([f"a0-", f"b0-"])
+
+    inputs = [f"a{k}" for k in range(pairs)]
+    outputs = [f"b{k}" for k in range(pairs)]
+    outputs += [f"e{j}" for j in range(1, echoes + 1)]
+    g_text = build_g(name, inputs, outputs, cycle)
+
+    from repro.stg.load import load_stg
+
+    stg = load_stg(g_text, name_hint=name)
+    if validate:
+        _check_generated(stg)
+
+    return GeneratedStg(
+        name=name, g_text=g_text, stg=stg, seed=seed,
+        signals=len(inputs) + len(outputs), pairs=pairs,
+        par_phases=par_phases, choice_phases=choice_phases,
+        plain_phases=plain_phases, echoes=echoes,
+    )
+
+
+def generate_corpus(count, signals=6, width=2, csc_density=0.0, seed=0,
+                    validate=True):
+    """Generate ``count`` circuits; circuit ``i`` uses seed ``seed + i``.
+
+    The knobs are shared; variation comes from the per-circuit seed, so
+    a corpus is reproducible from ``(count, knobs, seed)`` alone.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, not {count!r}")
+    return [
+        generate_stg(
+            signals=signals, width=width, csc_density=csc_density,
+            seed=seed + i, validate=validate,
+        )
+        for i in range(count)
+    ]
+
+
+def _check_generated(stg):
+    """Assert the generator's by-construction guarantees on the result."""
+    from repro.petrinet.properties import is_free_choice, is_safe
+    from repro.stg.errors import StgValidationError
+    from repro.stg.validate import validate_stg
+
+    graph = validate_stg(stg, require_live=True, require_safe=True)
+    if not is_free_choice(stg.net):
+        raise StgValidationError(
+            f"generated net {stg.name!r} is not free-choice"
+        )
+    # validate_stg already rejects unsafe nets; re-assert on the same
+    # reachability graph so a validator regression cannot slip through.
+    if not is_safe(stg.net, graph=graph):
+        raise StgValidationError(f"generated net {stg.name!r} is not safe")
+    return graph

@@ -1,0 +1,65 @@
+"""One loader for every way an STG reaches the toolkit.
+
+The CLI historically parsed paths, the bench runner had its own file
+helper, and the service accepts raw uploads.  :func:`load_stg` folds the
+three shapes into one entry point so every front end -- ``python -m
+repro``, :func:`repro.synthesize`, the HTTP service, the benchmark
+loaders -- shares the same dispatch rule:
+
+* a :class:`~repro.stg.model.SignalTransitionGraph` is returned as-is;
+* a string (or :class:`os.PathLike`) that *looks like* ``.g`` source --
+  it contains a newline or starts with a ``.`` directive -- is parsed
+  as text;
+* any other string is treated as a filesystem path.
+
+The text-vs-path rule is safe because every non-empty ``.g`` document
+is multi-line (it needs at least ``.graph`` … ``.end``) while no real
+benchmark path contains a newline, and a path starting with ``"."``
+that is meant as a file can always be spelled ``"./…"``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.stg.model import SignalTransitionGraph
+from repro.stg.parse import parse_g, parse_g_file
+
+
+def load_stg(source, name_hint=None):
+    """Load an STG from a parsed graph, a ``.g`` path, or ``.g`` text.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.stg.model.SignalTransitionGraph` (returned
+        unchanged), a path to a ``.g`` file, or raw ``.g`` source text.
+    name_hint:
+        Model-name fallback used when parsing text without a ``.model``
+        line; ignored for graphs and defaulted to the path for files.
+
+    Returns
+    -------
+    SignalTransitionGraph
+
+    Raises
+    ------
+    TypeError
+        ``source`` is none of the accepted shapes.
+    GFormatError
+        The ``.g`` document is malformed.
+    OSError
+        A path that cannot be read.
+    """
+    if isinstance(source, SignalTransitionGraph):
+        return source
+    if isinstance(source, os.PathLike):
+        return parse_g_file(os.fspath(source))
+    if isinstance(source, str):
+        if "\n" in source or source.lstrip().startswith("."):
+            return parse_g(source, name_hint=name_hint or "stg")
+        return parse_g_file(source)
+    raise TypeError(
+        f"load_stg() expects a SignalTransitionGraph, a .g path, or .g "
+        f"source text, not {type(source).__name__}"
+    )

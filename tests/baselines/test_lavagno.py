@@ -3,6 +3,7 @@
 from repro.baselines import lavagno_synthesis
 from repro.stategraph import build_state_graph, csc_conflicts
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL, CSC_CONFLICT, HANDSHAKE
 
@@ -34,10 +35,14 @@ class TestLavagno:
 
     def test_accepts_prebuilt_graph(self):
         graph = build_state_graph(parse_g(CSC_CONFLICT))
-        result = lavagno_synthesis(graph, minimize=False)
+        result = lavagno_synthesis(
+            graph, options=SynthesisOptions(minimize=False)
+        )
         assert result.graph is graph
         assert result.covers is None
 
     def test_repr(self):
-        result = lavagno_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        result = lavagno_synthesis(
+            parse_g(CSC_CONFLICT), options=SynthesisOptions(minimize=False)
+        )
         assert "LavagnoResult" in repr(result)

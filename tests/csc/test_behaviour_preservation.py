@@ -15,6 +15,7 @@ from repro.bench import load_benchmark
 from repro.csc import direct_synthesis, modular_synthesis
 from repro.stategraph import build_state_graph, quotient
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL
 
@@ -43,25 +44,33 @@ def assert_collapses_to_original(result):
 
 @pytest.mark.parametrize("name", sorted(ALL))
 def test_modular_preserves_behaviour_examples(name):
-    result = modular_synthesis(parse_g(ALL[name]), minimize=False)
+    result = modular_synthesis(
+        parse_g(ALL[name]), options=SynthesisOptions(minimize=False)
+    )
     assert_collapses_to_original(result)
 
 
 @pytest.mark.parametrize("name", sorted(ALL))
 def test_direct_preserves_behaviour_examples(name):
-    result = direct_synthesis(parse_g(ALL[name]), minimize=False)
+    result = direct_synthesis(
+        parse_g(ALL[name]), options=SynthesisOptions(minimize=False)
+    )
     assert_collapses_to_original(result)
 
 
 @pytest.mark.parametrize("name", SMALL_BENCHMARKS)
 def test_modular_preserves_behaviour_benchmarks(name):
     graph = build_state_graph(load_benchmark(name))
-    result = modular_synthesis(graph, minimize=False)
+    result = modular_synthesis(
+        graph, options=SynthesisOptions(minimize=False)
+    )
     assert_collapses_to_original(result)
 
 
 @pytest.mark.parametrize("name", SMALL_BENCHMARKS)
 def test_lavagno_preserves_behaviour_benchmarks(name):
     graph = build_state_graph(load_benchmark(name))
-    result = lavagno_synthesis(graph, minimize=False)
+    result = lavagno_synthesis(
+        graph, options=SynthesisOptions(minimize=False)
+    )
     assert_collapses_to_original(result)

@@ -3,6 +3,7 @@
 from repro.csc import Assignment, direct_synthesis, verify_csc
 from repro.stg import parse_g
 from repro.stategraph import build_state_graph, csc_conflicts
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL, CSC_CONFLICT, HANDSHAKE
 
@@ -46,7 +47,9 @@ class TestDirectSynthesis:
 
     def test_accepts_prebuilt_graph(self):
         graph = build_state_graph(parse_g(CSC_CONFLICT))
-        result = direct_synthesis(graph, minimize=False)
+        result = direct_synthesis(
+            graph, options=SynthesisOptions(minimize=False)
+        )
         assert result.graph is graph
         assert result.covers is None
 

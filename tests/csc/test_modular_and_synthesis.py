@@ -12,6 +12,7 @@ from repro.csc import (
 )
 from repro.stg import parse_g
 from repro.stategraph import build_state_graph, csc_conflicts
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL, CHOICE, CONCURRENT, CSC_CONFLICT, HANDSHAKE
 
@@ -103,13 +104,17 @@ class TestModularSynthesis:
 
     def test_output_order_respected(self):
         result = modular_synthesis(
-            parse_g(CSC_CONFLICT), output_order=["c", "b"]
+            parse_g(CSC_CONFLICT),
+            options=SynthesisOptions(output_order=["c", "b"]),
         )
         assert [m.output for m in result.modules] == ["c", "b"]
 
     def test_unknown_output_rejected(self):
         with pytest.raises(ValueError):
-            modular_synthesis(parse_g(CSC_CONFLICT), output_order=["zz"])
+            modular_synthesis(
+                parse_g(CSC_CONFLICT),
+                options=SynthesisOptions(output_order=["zz"]),
+            )
 
     def test_accepts_prebuilt_state_graph(self):
         graph = build_state_graph(parse_g(CHOICE))
@@ -117,7 +122,9 @@ class TestModularSynthesis:
         assert result.graph is graph
 
     def test_minimize_false_skips_logic(self):
-        result = modular_synthesis(parse_g(CONCURRENT), minimize=False)
+        result = modular_synthesis(
+            parse_g(CONCURRENT), options=SynthesisOptions(minimize=False)
+        )
         assert result.covers is None
         assert result.literals is None
 

@@ -4,6 +4,7 @@ from repro.csc import Assignment, Value, expand, modular_synthesis
 from repro.csc.polish import polish_assignment
 from repro.stategraph import build_state_graph, csc_conflicts
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
 
@@ -62,7 +63,9 @@ class TestPolish:
 
     def test_synthesis_results_are_polished(self):
         graph = build_state_graph(parse_g(CSC_CONFLICT))
-        result = modular_synthesis(graph, minimize=False)
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=False)
+        )
         # The rise and fall of the single state signal each occupy one
         # state after polishing.
         assert _excited_count(result.assignment) == 2

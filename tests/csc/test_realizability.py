@@ -9,6 +9,7 @@ checker is the ground truth all of that rests on.
 from repro.csc import Assignment, Value, modular_synthesis
 from repro.stategraph import build_state_graph
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL, CSC_CONFLICT
 
@@ -56,7 +57,9 @@ def test_staying_excited_across_input_edge_allowed():
 def test_synthesis_results_are_realizable():
     for text in ALL.values():
         stg = parse_g(text)
-        result = modular_synthesis(stg, minimize=False)
+        result = modular_synthesis(
+            stg, options=SynthesisOptions(minimize=False)
+        )
         assert result.assignment.check_input_realizability(
             result.graph
         ) == []

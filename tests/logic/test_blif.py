@@ -6,6 +6,7 @@ from repro.csc import modular_synthesis
 from repro.logic.blif import write_blif, write_synthesis_blif
 from repro.logic.cover import Cover
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
 
@@ -58,6 +59,8 @@ def test_synthesis_export():
 
 def test_synthesis_export_needs_covers():
     stg = parse_g(HANDSHAKE)
-    result = modular_synthesis(stg, minimize=False)
+    result = modular_synthesis(
+        stg, options=SynthesisOptions(minimize=False)
+    )
     with pytest.raises(ValueError):
         write_synthesis_blif(result, stg.inputs)

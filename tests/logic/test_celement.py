@@ -10,6 +10,7 @@ from repro.logic.celement import (
 from repro.logic.espresso import verify_cover
 from repro.stategraph import build_state_graph
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import CSC_CONFLICT, HANDSHAKE
 
@@ -35,7 +36,9 @@ class TestExcitationRegions:
 
 class TestSynthesizeCelements:
     def test_covers_are_correct(self):
-        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        result = modular_synthesis(
+            parse_g(CSC_CONFLICT), options=SynthesisOptions(minimize=False)
+        )
         graph = result.expanded
         implementations, total = synthesize_celements(graph)
         assert set(implementations) == set(graph.non_inputs)
@@ -50,13 +53,17 @@ class TestSynthesizeCelements:
             assert verify_cover(impl.reset_cover, reset_on, reset_off) == []
 
     def test_subset(self):
-        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        result = modular_synthesis(
+            parse_g(CSC_CONFLICT), options=SynthesisOptions(minimize=False)
+        )
         implementations, _ = synthesize_celements(
             result.expanded, signals=["b"]
         )
         assert list(implementations) == ["b"]
 
     def test_repr(self):
-        result = modular_synthesis(parse_g(HANDSHAKE), minimize=False)
+        result = modular_synthesis(
+            parse_g(HANDSHAKE), options=SynthesisOptions(minimize=False)
+        )
         implementations, _ = synthesize_celements(result.expanded)
         assert "set=" in repr(implementations["b"])

@@ -8,6 +8,7 @@ from repro.logic.extract import next_state_tables, synthesize_logic
 from repro.logic.literals import total_literals
 from repro.stg import parse_g
 from repro.stategraph import build_state_graph
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import CONCURRENT, CSC_CONFLICT, HANDSHAKE
 
@@ -41,7 +42,9 @@ class TestSynthesizeLogic:
         assert str(covers["b"][0]) == "1-"
 
     def test_covers_are_functionally_correct(self):
-        result = modular_synthesis(parse_g(CSC_CONFLICT), minimize=False)
+        result = modular_synthesis(
+            parse_g(CSC_CONFLICT), options=SynthesisOptions(minimize=False)
+        )
         graph = result.expanded
         covers, _literals = synthesize_logic(graph)
         tables = next_state_tables(graph)

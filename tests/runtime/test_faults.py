@@ -10,6 +10,7 @@ from repro.sat import LIMIT, SAT, Cnf, solve_bdd, solve_with
 from repro.stg import parse_g
 from repro.stg.errors import GFormatError
 from repro.stategraph import build_state_graph
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import CSC_CONFLICT
 
@@ -104,7 +105,9 @@ def test_module_solve_point_raises_synthesis_error():
 def test_module_solve_point_degrades_when_allowed():
     graph = build_state_graph(parse_g(CSC_CONFLICT))
     with faults.injected("module-solve", match=lambda output: output == "c"):
-        result = modular_synthesis(graph, degrade=True)
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(degrade=True)
+        )
     entry = result.report.module("c")
     assert entry.status == "degraded"
     assert result.report.status == "degraded"

@@ -1,6 +1,4 @@
-"""Tests for SynthesisOptions, the legacy-kwarg shim, and the facade."""
-
-import warnings
+"""Tests for SynthesisOptions, coerce_options, and the facade."""
 
 import pytest
 
@@ -70,67 +68,65 @@ class TestSynthesisOptions:
 
 
 class TestCoerceOptions:
-    def test_legacy_kwargs_warn_and_fold(self):
-        with pytest.warns(DeprecationWarning, match="modular_synthesis"):
-            options = coerce_options(
-                None, {"minimize": False}, "modular_synthesis"
-            )
-        assert options == SynthesisOptions(minimize=False)
+    def test_none_builds_defaults(self):
+        assert coerce_options(None, "x_synthesis") == SynthesisOptions()
 
-    def test_mixing_options_and_legacy_is_an_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            coerce_options(
-                SynthesisOptions(), {"minimize": False}, "x_synthesis"
-            )
+    def test_caller_defaults_fill_in(self):
+        options = coerce_options(
+            None, "run_synthesis", defaults={"fallback": True}
+        )
+        assert options.fallback is True
 
-    def test_unknown_legacy_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="bogus"):
-            coerce_options(None, {"bogus": 1}, "x_synthesis")
+    def test_options_returned_as_is(self):
+        options = SynthesisOptions(minimize=False)
+        assert coerce_options(options, "x_synthesis") is options
 
     def test_non_options_value_rejected(self):
         with pytest.raises(TypeError, match="SynthesisOptions"):
-            coerce_options({"engine": "dpll"}, {}, "x_synthesis")
+            coerce_options({"engine": "dpll"}, "x_synthesis")
 
-    def test_legacy_defaults_fill_unpassed_fields_only(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            options = coerce_options(
-                None, {"minimize": False}, "run_synthesis",
-                legacy_defaults={"fallback": True},
+    def test_legacy_kwargs_raise_type_error(self):
+        # The PR-3 deprecation cycle is over: any forwarded legacy
+        # keyword dict is a TypeError naming the replacement.
+        with pytest.raises(TypeError, match="options=SynthesisOptions"):
+            coerce_options(
+                None, "modular_synthesis", legacy={"minimize": False}
             )
-        assert options.fallback is True
-        assert options.minimize is False
-        assert coerce_options(
-            None, {}, "run_synthesis", legacy_defaults={"fallback": True}
-        ).fallback is True
+
+    def test_legacy_error_names_the_keywords(self):
+        with pytest.raises(TypeError, match="engine, minimize"):
+            coerce_options(
+                None, "x_synthesis",
+                legacy={"minimize": False, "engine": "dpll"},
+            )
 
 
 class TestEntryPoints:
-    def test_modular_legacy_kwargs_still_work_with_warning(self):
+    def test_modular_rejects_legacy_kwargs(self):
         stg = parse_g(CSC_CONFLICT)
-        with pytest.warns(DeprecationWarning, match="minimize"):
-            result = modular_synthesis(stg, minimize=False)
-        assert result.literals is None
+        with pytest.raises(TypeError):
+            modular_synthesis(stg, minimize=False)
 
-    def test_direct_legacy_kwargs_still_work_with_warning(self):
+    def test_direct_rejects_legacy_kwargs(self):
         stg = parse_g(CSC_CONFLICT)
-        with pytest.warns(DeprecationWarning):
-            result = direct_synthesis(stg, minimize=False)
-        assert result.literals is None
+        with pytest.raises(TypeError):
+            direct_synthesis(stg, minimize=False)
 
-    def test_lavagno_legacy_kwargs_still_work_with_warning(self):
+    def test_lavagno_rejects_legacy_kwargs(self):
         stg = parse_g(CSC_CONFLICT)
-        with pytest.warns(DeprecationWarning):
-            result = lavagno_synthesis(stg, minimize=False)
-        assert result.literals is None
+        with pytest.raises(TypeError):
+            lavagno_synthesis(stg, minimize=False)
 
-    def test_options_path_emits_no_warning(self):
+    def test_run_synthesis_rejects_legacy_kwargs(self):
         stg = parse_g(CSC_CONFLICT)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            result = modular_synthesis(
-                stg, options=SynthesisOptions(minimize=False)
-            )
+        with pytest.raises(TypeError):
+            run_synthesis(stg, fallback=False)
+
+    def test_options_path_works(self):
+        stg = parse_g(CSC_CONFLICT)
+        result = modular_synthesis(
+            stg, options=SynthesisOptions(minimize=False)
+        )
         assert result.literals is None
 
     def test_custom_signal_prefix_via_options(self):
@@ -143,13 +139,10 @@ class TestEntryPoints:
         )
 
     def test_run_synthesis_defaults_keep_resilience(self):
-        # No options, no kwargs: the orchestrator's historical defaults
-        # (fallback ladder + modular degradation on) still apply, with
-        # no deprecation warning.
+        # No options: the orchestrator's historical defaults (fallback
+        # ladder + modular degradation on) still apply.
         stg = parse_g(CSC_CONFLICT)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            report = run_synthesis(stg)
+        report = run_synthesis(stg)
         assert report.status == "ok"
 
     def test_run_synthesis_accepts_options(self):
@@ -159,6 +152,12 @@ class TestEntryPoints:
         )
         assert report.status == "ok"
         assert report.result.literals is None
+
+    def test_run_synthesis_accepts_g_text(self):
+        report = run_synthesis(
+            CSC_CONFLICT, options=repro.SynthesisOptions(minimize=False)
+        )
+        assert report.status == "ok"
 
     def test_facade_returns_run_report(self):
         stg = parse_g(CSC_CONFLICT)

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.runtime import Budget, faults
+from repro.runtime import Budget, SynthesisOptions, faults
 from repro.runtime.report import RunReport
 from repro.runtime.run import run_synthesis
 from repro.stg import parse_g
@@ -47,7 +47,10 @@ def test_timeout_returns_partial_report_within_deadline():
     # deterministic regardless of machine speed.
     budget = Budget(max_seconds=0.0)
     started = time.perf_counter()
-    report = run_synthesis(parse_g(CSC_CONFLICT), budget=budget)
+    report = run_synthesis(
+        parse_g(CSC_CONFLICT),
+        options=SynthesisOptions(budget=budget, fallback=True, degrade=True),
+    )
     elapsed = time.perf_counter() - started
     assert report.status == "timeout"
     assert report.exit_code == 3
@@ -67,7 +70,12 @@ def test_timeout_mid_modules_marks_remaining_skipped():
                 self.max_seconds = -1.0
             super().checkpoint(point)
 
-    report = run_synthesis(parse_g(CSC_CONFLICT), budget=Dying())
+    report = run_synthesis(
+        parse_g(CSC_CONFLICT),
+        options=SynthesisOptions(
+            budget=Dying(), fallback=True, degrade=True
+        ),
+    )
     assert report.status == "timeout"
     assert report.modules, "partial per-module results expected"
     assert all(m.status == "skipped" for m in report.modules)
@@ -103,14 +111,19 @@ def test_injected_module_fault_yields_exit_code_2():
 
 def test_no_fallback_propagates_as_error_report():
     with faults.injected("module-solve"):
-        report = run_synthesis(parse_g(CSC_CONFLICT), fallback=False)
+        report = run_synthesis(
+            parse_g(CSC_CONFLICT), options=SynthesisOptions(fallback=False)
+        )
     assert report.status == "error"
     assert report.exit_code == 1
 
 
 def test_max_states_budget_trips_on_big_graph():
     report = run_synthesis(
-        parse_g(CSC_CONFLICT), budget=Budget(max_states=2)
+        parse_g(CSC_CONFLICT),
+        options=SynthesisOptions(
+            budget=Budget(max_states=2), fallback=True, degrade=True
+        ),
     )
     assert report.status == "timeout"
     assert report.error.resource == "states"

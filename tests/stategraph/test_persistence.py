@@ -6,6 +6,7 @@ from repro.stategraph import build_state_graph
 from repro.stategraph.csc import persistence_violations
 from repro.stategraph.graph import StateGraph
 from repro.stg import parse_g
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import ALL
 
@@ -26,7 +27,9 @@ def test_benchmarks_are_persistent():
 def test_expanded_graphs_are_persistent():
     for name in ("vbe-ex1", "nousc-ser", "fifo"):
         graph = build_state_graph(load_benchmark(name))
-        result = modular_synthesis(graph, minimize=False)
+        result = modular_synthesis(
+            graph, options=SynthesisOptions(minimize=False)
+        )
         assert persistence_violations(result.expanded) == []
 
 

@@ -1,0 +1,57 @@
+"""load_stg: the one loader behind every front end."""
+
+import pathlib
+
+import pytest
+
+from repro.stg import SignalTransitionGraph, load_stg, parse_g
+
+from tests.example_stgs import HANDSHAKE
+
+
+class TestLoadStg:
+    def test_graph_passes_through_unchanged(self):
+        stg = parse_g(HANDSHAKE)
+        assert load_stg(stg) is stg
+
+    def test_text_is_parsed(self):
+        stg = load_stg(HANDSHAKE)
+        assert isinstance(stg, SignalTransitionGraph)
+        assert set(stg.signals) == set(parse_g(HANDSHAKE).signals)
+
+    def test_text_name_hint(self):
+        text = HANDSHAKE.replace(".model handshake\n", "")
+        assert load_stg(text, name_hint="renamed").name == "renamed"
+
+    def test_path_string_is_read(self, tmp_path):
+        path = tmp_path / "spec.g"
+        path.write_text(HANDSHAKE)
+        stg = load_stg(str(path))
+        assert isinstance(stg, SignalTransitionGraph)
+
+    def test_pathlike_is_read(self, tmp_path):
+        path = tmp_path / "spec.g"
+        path.write_text(HANDSHAKE)
+        assert isinstance(load_stg(path), SignalTransitionGraph)
+        assert isinstance(path, pathlib.Path)
+
+    def test_leading_directive_counts_as_text(self):
+        # A single-line fragment starting with "." is treated as source,
+        # not a path -- it fails as a .g document, not with ENOENT.
+        from repro.stg import GFormatError
+
+        with pytest.raises(GFormatError):
+            load_stg(".model only-a-header")
+
+    def test_missing_path_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_stg(str(tmp_path / "nope.g"))
+
+    def test_unsupported_type_raises_typeerror(self):
+        with pytest.raises(TypeError, match="load_stg"):
+            load_stg(42)
+
+    def test_bundled_benchmark_path(self):
+        data = pathlib.Path("src/repro/data/nak-pa.g")
+        stg = load_stg(data)
+        assert stg.name == "nak-pa"

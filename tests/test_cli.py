@@ -218,3 +218,81 @@ def test_cache_max_bytes_flag_bounds_the_store(spec, tmp_path, capsys):
         if name.endswith(".rec")
     ]
     assert records == []  # everything stored was immediately evicted
+
+
+# -- subcommands and the machine-readable output mode --------------------
+
+
+def test_json_mode_prints_one_response_document(spec, capsys):
+    from repro import api
+
+    assert main([spec, "--json"]) == 0
+    out = capsys.readouterr().out
+    response = api.from_json(out)
+    assert response.status == "ok"
+    assert response.model == "csc-ex"
+    assert response.verified is True
+    assert response.equations  # the narration moved into the document
+
+
+def test_json_mode_stdout_is_pure_json(spec, tmp_path, capsys):
+    import json as json_mod
+
+    out_path = tmp_path / "out.blif"
+    assert main([spec, "--json", "--blif", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    json_mod.loads(out)  # no "wrote ..." chatter mixed in
+    assert out_path.exists()
+
+
+def test_json_mode_timeout_still_emits_document(spec, capsys):
+    from repro import api
+
+    assert main([spec, "--json", "--timeout", "0"]) == 3
+    captured = capsys.readouterr()
+    response = api.from_json(captured.out)
+    assert response.status == "timeout"
+    assert captured.err.startswith("timeout:")
+
+
+def test_generate_writes_g_text_to_stdout(capsys):
+    from repro.stg import parse_g
+
+    assert main(["generate", "--count", "1", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    stg = parse_g(out)
+    assert stg.name == "gen-s6-w2-7"
+
+
+def test_generate_out_dir_and_stats(tmp_path, capsys):
+    import json as json_mod
+    import os
+
+    out_dir = str(tmp_path / "corpus")
+    code = main([
+        "generate", "--count", "3", "--seed", "10",
+        "--out-dir", out_dir, "--stats",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert sorted(os.listdir(out_dir)) == [
+        "gen-s6-w2-10.g", "gen-s6-w2-11.g", "gen-s6-w2-12.g",
+    ]
+    stats = [json_mod.loads(line) for line in captured.err.splitlines()]
+    assert [row["seed"] for row in stats] == [10, 11, 12]
+
+
+def test_generate_rejects_bad_knobs(capsys):
+    assert main(["generate", "--signals", "1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_generated_spec_round_trips_through_cli(tmp_path, capsys):
+    # generate -> file -> synthesise: the two subsystems compose.
+    from repro.stg.generate import generate_stg
+
+    generated = generate_stg(signals=4, width=2, csc_density=1.0, seed=3)
+    path = tmp_path / "gen.g"
+    path.write_text(generated.g_text)
+    assert main([str(path), "--quiet"]) == 0
+    assert "conformance verified" in capsys.readouterr().out

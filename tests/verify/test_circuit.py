@@ -6,6 +6,7 @@ from repro.csc import modular_synthesis
 from repro.logic.cover import Cover
 from repro.stg import parse_g
 from repro.verify import Circuit
+from repro.runtime.options import SynthesisOptions
 
 from tests.example_stgs import HANDSHAKE
 
@@ -43,7 +44,9 @@ class TestConstruction:
 
     def test_from_synthesis_needs_covers(self):
         stg = parse_g(HANDSHAKE)
-        result = modular_synthesis(stg, minimize=False)
+        result = modular_synthesis(
+            stg, options=SynthesisOptions(minimize=False)
+        )
         with pytest.raises(ValueError):
             Circuit.from_synthesis(result, stg.inputs)
 

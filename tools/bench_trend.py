@@ -17,6 +17,9 @@ tool promises (dispatched on the document's ``schema`` field):
   (``tools/bench_parallel.py``);
 * ``repro-crash-bench/1`` -- ``recovery_overhead < 0.25``,
   ``identical`` (``tools/bench_crash.py``);
+* ``repro-service-bench/1`` -- ``server_5xx == 0``,
+  ``duplicates_byte_identical``, the corpus and concurrency floors
+  (``tools/loadtest.py``);
 * ``repro-bench/1`` -- structural check (``tools/check_bench_schema``).
 
 The threshold logic lives in the producing tools' ``check_document``
@@ -56,6 +59,7 @@ CHECKERS = {
     "repro-sat-bench/1": "bench_sat",
     "repro-parallel-bench/1": "bench_parallel",
     "repro-crash-bench/1": "bench_crash",
+    "repro-service-bench/1": "loadtest",
     "repro-bench/1": None,
 }
 
@@ -76,6 +80,12 @@ TREND_METRICS = {
     "repro-crash-bench/1": {
         "recovery_overhead": "lower",
         "faulted_parallel_seconds": "lower",
+    },
+    "repro-service-bench/1": {
+        "throughput_rps": "higher",
+        "latency_p50_seconds": "lower",
+        "latency_p95_seconds": "lower",
+        "cache_hit_rate": "higher",
     },
     "repro-bench/1": {
         "total_cpu_seconds": "lower",

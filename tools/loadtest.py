@@ -1,0 +1,381 @@
+"""Load test for the HTTP synthesis service.
+
+Boots the service in-process (a real asyncio HTTP server on a loopback
+port, synthesis on a real worker pool), generates a synthetic corpus
+with :func:`repro.stg.generate.generate_corpus`, and hammers
+``POST /synthesize`` with a shuffled schedule that uploads every
+circuit ``--repeats`` times from ``--concurrency`` concurrent client
+connections.  It then writes ``BENCH_service.json``
+(schema ``repro-service-bench/1``) recording:
+
+* ``throughput_rps`` and the ``latency_p50/p95_seconds`` quantiles over
+  every request (connection setup included);
+* ``cache_hit_rate`` as observed from the response documents' ``cache``
+  tiers (first upload misses, every repeat replays);
+* the transport verdicts the service promises under load:
+  ``server_5xx == 0`` and ``duplicates_byte_identical`` (every repeat
+  of an upload returns the same bytes).
+
+Usage::
+
+    PYTHONPATH=src python tools/loadtest.py --output BENCH_service.json
+    python tools/loadtest.py --circuits 200 --concurrency 32 --jobs 8
+
+``check_document`` validates a committed artifact for
+``tools/bench_trend.py --check``: the corpus floor (>= 200 circuits),
+the concurrency floor (>= 32 in-flight), zero 5xx and byte-identical
+replays are hard requirements; throughput and latency are recorded as
+trend metrics, not gated on absolute values (they are machine-bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+
+if __package__ in (None, ""):  # script invocation: put src/ on the path
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
+
+SCHEMA = "repro-service-bench/1"
+
+#: Floors the committed artifact must prove (ISSUE acceptance bar).
+MIN_CIRCUITS = 200
+MIN_CONCURRENCY = 32
+
+
+async def _post(port, body):
+    """One POST /synthesize over a fresh connection; returns
+    ``(status, payload, seconds)``."""
+    started = time.perf_counter()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = (
+        f"POST /synthesize HTTP/1.1\r\nHost: loadtest\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    data = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    head_part, _sep, payload = data.partition(b"\r\n\r\n")
+    status = int(head_part.split(b" ", 2)[1])
+    return status, payload, time.perf_counter() - started
+
+
+async def _drive(port, corpus, repeats, concurrency, seed):
+    """Run the shuffled upload schedule; returns per-request records."""
+    schedule = [
+        (index, repeat)
+        for index in range(len(corpus))
+        for repeat in range(repeats)
+    ]
+    random.Random(seed).shuffle(schedule)
+    queue = asyncio.Queue()
+    for item in schedule:
+        queue.put_nowait(item)
+    records = []
+
+    async def worker():
+        while True:
+            try:
+                index, repeat = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            body = corpus[index].g_text.encode("utf-8")
+            status, payload, seconds = await _post(port, body)
+            records.append((index, repeat, status, payload, seconds))
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return records
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return None
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (
+        sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+    )
+
+
+def _analyze(records, corpus):
+    """Fold request records into the artifact's verdicts and quantiles."""
+    status_counts = {}
+    latencies = []
+    by_circuit = {}
+    tiers = {"miss": 0, "hit": 0, "off": 0}
+    for index, _repeat, status, payload, seconds in records:
+        status_counts[str(status)] = status_counts.get(str(status), 0) + 1
+        latencies.append(seconds)
+        by_circuit.setdefault(index, []).append((status, payload))
+        if status == 200:
+            tier = json.loads(payload).get("cache")
+            if tier in tiers:
+                tiers[tier] += 1
+    server_5xx = sum(
+        count for code, count in status_counts.items()
+        if int(code) >= 500
+    )
+    identical = True
+    misses_per_circuit = True
+    for index, responses in by_circuit.items():
+        payloads = [p for s, p in responses if s == 200]
+        if len(payloads) != len(responses):
+            identical = False
+            continue
+        replays = {
+            payload for payload in payloads
+            if json.loads(payload).get("cache") == "hit"
+        }
+        misses = len(payloads) - len(
+            [p for p in payloads if json.loads(p).get("cache") == "hit"]
+        )
+        if misses != 1:
+            misses_per_circuit = False
+        if len(replays) > 1:
+            identical = False
+    latencies.sort()
+    lookups = tiers["miss"] + tiers["hit"]
+    return {
+        "status_counts": dict(sorted(status_counts.items())),
+        "server_5xx": server_5xx,
+        "duplicates_byte_identical": identical,
+        "one_miss_per_circuit": misses_per_circuit,
+        "cache_hit_rate": (
+            round(tiers["hit"] / lookups, 4) if lookups else None
+        ),
+        "latency_p50_seconds": round(_quantile(latencies, 0.50), 6),
+        "latency_p95_seconds": round(_quantile(latencies, 0.95), 6),
+        "latency_max_seconds": round(latencies[-1], 6),
+    }
+
+
+def run_loadtest(circuits=MIN_CIRCUITS, repeats=3,
+                 concurrency=MIN_CONCURRENCY, jobs=None, signals=6,
+                 width=2, csc_density=0.3, seed=0, executor="process",
+                 cache_dir=None, verify=True, quiet=False):
+    """Generate the corpus, boot the service, drive the schedule.
+
+    Returns the ``repro-service-bench/1`` document (not yet written).
+    """
+    from repro.service import SynthesisService, start_server
+    from repro.stg.generate import generate_corpus
+
+    if jobs is None:
+        jobs = max(2, min(8, (os.cpu_count() or 2)))
+
+    def say(message):
+        if not quiet:
+            print(message, flush=True)
+
+    say(f"generating {circuits} circuits "
+        f"(signals={signals}, width={width}, csc_density={csc_density})...")
+    corpus = generate_corpus(
+        circuits, signals=signals, width=width,
+        csc_density=csc_density, seed=seed,
+    )
+
+    async def scenario():
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            service = SynthesisService(
+                cache_dir=cache_dir or os.path.join(tmp, "cache"),
+                jobs=jobs, verify=verify, executor=executor,
+            )
+            server = await start_server(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            say(f"service up on port {port} "
+                f"({jobs} workers, {concurrency} clients)...")
+            started = time.perf_counter()
+            try:
+                async with server:
+                    records = await _drive(
+                        port, corpus, repeats, concurrency, seed
+                    )
+            finally:
+                service.close()
+            wall = time.perf_counter() - started
+            return records, wall, service.counters.as_dict()
+
+    records, wall, counters = asyncio.run(scenario())
+    analysis = _analyze(records, corpus)
+    document = {
+        "schema": SCHEMA,
+        "circuits": circuits,
+        "repeats": repeats,
+        "requests": len(records),
+        "concurrency": concurrency,
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "generator": {
+            "signals": signals,
+            "width": width,
+            "csc_density": csc_density,
+            "seed": seed,
+        },
+        "wall_seconds": round(wall, 6),
+        "throughput_rps": round(len(records) / wall, 4),
+        "service_counters": counters,
+        **analysis,
+    }
+    return document
+
+
+def check_document(document):
+    """Problem strings for one artifact (empty list = valid)."""
+    problems = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {document.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    for field, floor in (
+        ("circuits", MIN_CIRCUITS),
+        ("concurrency", MIN_CONCURRENCY),
+        ("repeats", 2),
+        ("jobs", 1),
+        ("cores", 1),
+    ):
+        value = document.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{field} missing or not an int")
+        elif value < floor:
+            problems.append(f"{field} is {value}, need >= {floor}")
+    requests = document.get("requests")
+    circuits = document.get("circuits")
+    repeats = document.get("repeats")
+    if not isinstance(requests, int) or isinstance(requests, bool):
+        problems.append("requests missing or not an int")
+    elif (isinstance(circuits, int) and isinstance(repeats, int)
+            and requests != circuits * repeats):
+        problems.append(
+            f"requests is {requests}, expected circuits*repeats "
+            f"({circuits * repeats})"
+        )
+    for field in ("wall_seconds", "throughput_rps",
+                  "latency_p50_seconds", "latency_p95_seconds"):
+        value = document.get(field)
+        if (not isinstance(value, (int, float)) or isinstance(value, bool)
+                or value <= 0):
+            problems.append(f"{field} missing or not a positive number")
+    p50 = document.get("latency_p50_seconds")
+    p95 = document.get("latency_p95_seconds")
+    if (isinstance(p50, (int, float)) and isinstance(p95, (int, float))
+            and p95 < p50):
+        problems.append(f"latency_p95 ({p95}) below latency_p50 ({p50})")
+    if document.get("server_5xx") != 0:
+        problems.append(
+            f"server_5xx is {document.get('server_5xx')!r}, must be 0"
+        )
+    if document.get("duplicates_byte_identical") is not True:
+        problems.append("duplicates_byte_identical is not true")
+    if document.get("one_miss_per_circuit") is not True:
+        problems.append("one_miss_per_circuit is not true")
+    rate = document.get("cache_hit_rate")
+    if (not isinstance(rate, (int, float)) or isinstance(rate, bool)
+            or not 0.0 <= rate <= 1.0):
+        problems.append("cache_hit_rate missing or not in [0, 1]")
+    elif isinstance(repeats, int) and repeats >= 2 and rate < 0.5:
+        problems.append(
+            f"cache_hit_rate is {rate}; with {repeats} uploads per "
+            f"circuit it must be >= 0.5"
+        )
+    status_counts = document.get("status_counts")
+    if not isinstance(status_counts, dict) or not status_counts:
+        problems.append("status_counts missing or empty")
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuits", type=int, default=MIN_CIRCUITS)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="uploads per circuit (first misses, the rest replay)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=MIN_CONCURRENCY,
+        help="concurrent client connections",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="service worker processes (default: min(8, cores), >= 2)",
+    )
+    parser.add_argument("--signals", type=int, default=6)
+    parser.add_argument("--width", type=int, default=2)
+    parser.add_argument("--csc-density", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--executor", choices=["process", "thread", "inline"],
+        default="process",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-result conformance check in the workers",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the artifact here (default: stdout only)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    document = run_loadtest(
+        circuits=args.circuits, repeats=args.repeats,
+        concurrency=args.concurrency, jobs=args.jobs,
+        signals=args.signals, width=args.width,
+        csc_density=args.csc_density, seed=args.seed,
+        executor=args.executor, verify=not args.no_verify,
+        quiet=args.quiet,
+    )
+    text = json.dumps(document, indent=2, sort_keys=False)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        if not args.quiet:
+            print(f"wrote {args.output}")
+    else:
+        print(text)
+    if (args.circuits < MIN_CIRCUITS
+            or args.concurrency < MIN_CONCURRENCY):
+        print(
+            f"note: below the committed floors ({MIN_CIRCUITS} circuits, "
+            f"{MIN_CONCURRENCY} clients); this artifact will not pass "
+            f"bench_trend --check", file=sys.stderr,
+        )
+    else:
+        problems = check_document(document)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+    if not args.quiet:
+        print(
+            f"{document['requests']} requests in "
+            f"{document['wall_seconds']:.2f}s "
+            f"({document['throughput_rps']:.1f} rps), "
+            f"p50 {document['latency_p50_seconds'] * 1000:.1f}ms, "
+            f"p95 {document['latency_p95_seconds'] * 1000:.1f}ms, "
+            f"hit rate {document['cache_hit_rate']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
