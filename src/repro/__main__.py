@@ -40,7 +40,13 @@ Options:
 ``--retry-backoff SECONDS``           base backoff before the first
                                       retry round (default 0.05)
 ``--blif PATH``                       write the circuit netlist
-``--no-verify``                       skip the conformance model check
+``--verify-level csc|conformance|hazards``
+                                      verification depth: static CSC
+                                      re-check, closed-loop conformance,
+                                      or conformance plus semi-modularity
+                                      / hazard-freedom (default hazards)
+``--no-verify``                       skip the closed-loop model check
+                                      (same as --verify-level csc)
 ``--quiet``                           only print the summary line
 ``--json``                            print the run as one repro-api/1
                                       response document instead of the
@@ -88,7 +94,6 @@ from repro.runtime.options import SynthesisOptions
 from repro.runtime.report import RUN_ERROR, RUN_TIMEOUT
 from repro.runtime.run import run_synthesis
 from repro.stg import load_stg, validate_stg
-from repro.verify import verify_synthesis
 
 _METHODS = ("modular", "direct", "lavagno")
 
@@ -159,7 +164,18 @@ def main(argv=None):
              "double it (deterministic jitter)",
     )
     parser.add_argument("--blif", metavar="PATH", default=None)
-    parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument(
+        "--verify-level", choices=["csc", "conformance", "hazards"],
+        default="hazards",
+        help="verification depth: csc re-checks state coding statically, "
+             "conformance model-checks the gate-level closed loop, "
+             "hazards adds semi-modularity / output-hazard freedom "
+             "(default hazards)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the closed-loop model check (forces --verify-level csc)",
+    )
     parser.add_argument("--quiet", action="store_true")
     parser.add_argument(
         "--json", action="store_true",
@@ -236,6 +252,7 @@ def _run(args, stg, tracer):
         cache_max_bytes=args.cache_max_bytes,
         retries=max(0, args.retries),
         retry_backoff=max(0.0, args.retry_backoff),
+        verify_level="csc" if args.no_verify else args.verify_level,
     )
     report = run_synthesis(stg, method=args.method, options=options)
 
@@ -251,29 +268,36 @@ def _run(args, stg, tracer):
 
     result = report.result
     degraded = bool(report.degraded_modules or report.skipped_modules)
-    conforms = None
+    verify = report.verify
     verified = ""
-    if not args.no_verify:
-        if budget.expired():
+    if verify is not None and not args.no_verify:
+        if verify.skipped is not None:
             # Synthesis finished on the wire; a model check would push
-            # the run past its promised deadline.
-            verified = ", verify skipped (deadline)"
+            # the run past its promised deadline (or state budget).
+            verified = f", verify skipped ({verify.skipped})"
             degraded = True
-        else:
-            check = verify_synthesis(result, stg)
-            conforms = check.conforms
-            if not check.conforms:
-                print(
-                    f"error: synthesised circuit does not conform: "
-                    f"{check.violations[:3]}",
-                    file=sys.stderr,
-                )
-                _print_json(args, report, stg, verified=False)
-                return 1
+        elif verify.violations:
+            print(
+                f"error: synthesised circuit does not conform: "
+                f"{verify.violations[:3]}",
+                file=sys.stderr,
+            )
+            _print_json(args, report, stg)
+            return 1
+        elif verify.truncated:
+            # The exploration cap cut the pass short: a clean-so-far
+            # traversal is not a proof.
+            verified = ", verify inconclusive (state cap)"
+            degraded = True
+        elif verify.level == "hazards":
+            verified = ", conformance verified, hazard-free"
+        elif verify.level == "conformance":
             verified = ", conformance verified"
+        else:
+            verified = ", csc verified"
 
     if args.json:
-        _print_json(args, report, stg, verified=conforms)
+        _print_json(args, report, stg)
     else:
         print(
             f"{stg.name}: {result.initial_states} -> "
@@ -299,15 +323,17 @@ def _run(args, stg, tracer):
     return 0
 
 
-def _print_json(args, report, stg, verified=None):
-    """The ``--json`` document on stdout (stdout carries nothing else)."""
+def _print_json(args, report, stg):
+    """The ``--json`` document on stdout (stdout carries nothing else).
+
+    The ``verified`` verdict and the ``verify`` document both derive
+    from the run's own verification pass (``report.verify``).
+    """
     if not args.json:
         return
     from repro import api
 
-    response = api.response_from_report(
-        report, model=stg.name, verified=verified
-    )
+    response = api.response_from_report(report, model=stg.name)
     print(api.to_json_bytes(response).decode("utf-8"))
 
 

@@ -34,6 +34,9 @@ ENGINES = ("hybrid", "dpll", "cdcl", "bdd")
 #: Cache tiers a response may report.
 CACHE_TIERS = ("off", "miss", "hit")
 
+#: Verification levels a request may name (weakest to strongest).
+VERIFY_LEVELS = ("csc", "conformance", "hazards")
+
 
 class ApiError(ValueError):
     """A request/response document that violates ``repro-api/1``."""
@@ -59,6 +62,7 @@ class SynthesisRequest:
     fallback: bool = True
     degrade: bool = True
     timeout_seconds: object = None
+    verify_level: str = "hazards"
 
     def __post_init__(self):
         if not isinstance(self.g_text, str) or not self.g_text.strip():
@@ -83,6 +87,11 @@ class SynthesisRequest:
                     f"timeout_seconds must be a positive number or null, "
                     f"not {self.timeout_seconds!r}"
                 )
+        if self.verify_level not in VERIFY_LEVELS:
+            raise ApiError(
+                f"verify_level must be one of {VERIFY_LEVELS}, "
+                f"not {self.verify_level!r}"
+            )
 
     def to_options(self, **server_knobs):
         """The :class:`~repro.runtime.options.SynthesisOptions` this
@@ -102,7 +111,8 @@ class SynthesisRequest:
             engine=self.engine, sat_mode=self.sat_mode,
             minimize=self.minimize, polish=self.polish,
             fallback=self.fallback, degrade=self.degrade,
-            budget=budget, **server_knobs,
+            budget=budget, verify_level=self.verify_level,
+            **server_knobs,
         )
 
     def fingerprint(self):
@@ -132,6 +142,7 @@ class SynthesisRequest:
                 "fallback": self.fallback,
                 "degrade": self.degrade,
                 "timeout_seconds": self.timeout_seconds,
+                "verify_level": self.verify_level,
             },
             sort_keys=True,
         )
@@ -168,6 +179,7 @@ class SynthesisResponse:
     modules: tuple = ()
     counters: tuple = ()
     verified: object = None
+    verify: object = None
     error: object = None
     cache: str = "off"
 
@@ -202,9 +214,22 @@ def response_from_report(report, model=None, verified=None, cache="off"):
 
     ``model`` overrides the model name (needed on timeout/error runs,
     which carry no result to read it from); ``verified`` records a
-    conformance-check verdict the caller ran, if any.
+    conformance-check verdict the caller ran, if any -- when omitted
+    it is derived from the run's own verification pass
+    (``report.verify``), whose full verdict document lands in
+    ``response.verify``.  The static ``csc`` level yields no
+    closed-loop verdict, so it leaves ``verified`` at ``None`` unless
+    it actually found a conflict.
     """
     result = report.result
+    verify_doc = None
+    run_verify = getattr(report, "verify", None)
+    if run_verify is not None:
+        verify_doc = run_verify.as_dict()
+        if verified is None:
+            verdict = run_verify.verdict
+            if run_verify.level != "csc" or verdict is False:
+                verified = verdict
     fields = {}
     equations_lines = ()
     if result is not None:
@@ -239,6 +264,7 @@ def response_from_report(report, model=None, verified=None, cache="off"):
         modules=tuple((m.output, m.status) for m in report.modules),
         counters=tuple(sorted(report.metrics.as_dict().items())),
         verified=verified,
+        verify=verify_doc,
         error=error,
         cache=cache,
         **fields,

@@ -100,6 +100,16 @@ class SynthesisOptions:
         the search engines (``"hybrid"``/``"cdcl"``) have an
         incremental form; ``"dpll"`` and ``"bdd"`` always solve
         one-shot.  See ``docs/performance.md``.
+    verify_level:
+        Post-synthesis verification depth run by
+        :func:`~repro.runtime.run.run_synthesis`: ``"csc"`` (default)
+        re-checks complete state coding statically, ``"conformance"``
+        model-checks the gate-level closed loop for I/O conformance,
+        ``"hazards"`` additionally checks excitation persistency
+        (semi-modularity / output-hazard freedom).  See
+        ``docs/verification.md``.  A scheduling-independent knob that
+        never changes what synthesis produces, only how hard the
+        result is checked -- the result cache deliberately ignores it.
     """
 
     limits: object = None
@@ -118,6 +128,7 @@ class SynthesisOptions:
     sat_mode: str = "incremental"
     retries: int = 2
     retry_backoff: float = 0.05
+    verify_level: str = "csc"
 
     def __post_init__(self):
         if self.output_order is not None:
@@ -128,6 +139,11 @@ class SynthesisOptions:
             raise ValueError(
                 f"sat_mode must be 'incremental' or 'oneshot', "
                 f"not {self.sat_mode!r}"
+            )
+        if self.verify_level not in ("csc", "conformance", "hazards"):
+            raise ValueError(
+                f"verify_level must be 'csc', 'conformance' or "
+                f"'hazards', not {self.verify_level!r}"
             )
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, not {self.retries!r}")

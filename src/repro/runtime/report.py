@@ -114,6 +114,11 @@ class RunReport:
         self.budget = {}
         self.metrics = Counters()
         self.verified = None
+        #: :class:`~repro.verify.checker.VerifyReport` of the
+        #: post-synthesis verification pass, set by
+        #: :func:`~repro.runtime.run.run_synthesis` (``None`` when no
+        #: pass ran, e.g. on timeout/error runs without a result).
+        self.verify = None
         #: Run-level crash-recovery tallies, set by the supervised
         #: parallel dispatch (zero on serial runs).
         self.worker_deaths = 0
@@ -166,6 +171,10 @@ class RunReport:
                 metrics.add("serial_rescues")
         metrics.add("worker_deaths", self.worker_deaths)
         metrics.add("pool_respawns", self.pool_respawns)
+        if self.verify is not None:
+            metrics.add("verify_checks", len(self.verify.checks))
+            metrics.add("verify_states", self.verify.states_explored)
+            metrics.add("verify_violations", len(self.verify.violations))
         if self.budget.get("backtracks_used"):
             metrics.add("backtracks", self.budget["backtracks_used"])
         if self.budget.get("checkpoints"):
@@ -236,6 +245,17 @@ class RunReport:
             )
         if recovered:
             parts.append(f"recovered: {', '.join(recovered)}")
+        if self.verify is not None:
+            if self.verify.skipped is not None:
+                parts.append(f"verify skipped ({self.verify.skipped})")
+            elif self.verify.violations:
+                parts.append(
+                    f"verify: {len(self.verify.violations)} violation"
+                    + ("s" if len(self.verify.violations) != 1 else "")
+                    + f" ({self.verify.level})"
+                )
+            else:
+                parts.append(f"verify: ok ({self.verify.level})")
         if self.budget.get("max_seconds") is not None:
             parts.append(
                 f"{self.budget['elapsed_seconds']:.2f}s of "

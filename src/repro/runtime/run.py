@@ -120,5 +120,49 @@ def run_synthesis(stg, method="modular", options=None):
             run_span.set("status", report.status)
             return report
         report.result = result
+        _verify_phase(report, stg, opts, budget)
         run_span.set("status", report.status)
         return report
+
+
+def _verify_phase(report, stg, opts, budget):
+    """Run the post-synthesis verification pass at ``opts.verify_level``.
+
+    Attaches a :class:`~repro.verify.checker.VerifyReport` as
+    ``report.verify`` and folds its counters into ``report.metrics``.
+    The closed-loop levels are budget-aware: a deadline that expired
+    during synthesis, or runs out mid-traversal, skips the pass
+    (``skipped="deadline"``/``"budget"``) rather than breaking the
+    run's promised wall clock -- the caller decides whether an
+    unverified result degrades the verdict.  Each counterexample is
+    journalled as a ``verify_violation`` point event.
+    """
+    from repro.verify.checker import VerifyReport, verify_result
+
+    if report.result is None:
+        return
+    level = opts.verify_level
+    with obs.span("verify", level=level) as verify_span:
+        if level != "csc" and budget.expired():
+            verify = VerifyReport(level, skipped="deadline")
+        else:
+            try:
+                verify = verify_result(
+                    report.result,
+                    stg=stg if hasattr(stg, "inputs") else None,
+                    level=level, budget=budget,
+                )
+            except BudgetExhaustedError as exc:
+                reason = (
+                    "budget" if exc.context.get("resource") == "states"
+                    else "deadline"
+                )
+                verify = VerifyReport(level, skipped=reason)
+        report.verify = verify
+        report.metrics = report.aggregate()
+        verify_span.set("verdict", verify.verdict)
+        verify_span.add("verify_checks", len(verify.checks))
+        verify_span.add("verify_states", verify.states_explored)
+        verify_span.add("verify_violations", len(verify.violations))
+        for cex in verify.violations:
+            obs.event("verify_violation", level=level, **cex.as_dict())

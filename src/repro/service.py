@@ -130,23 +130,16 @@ def _execute_request(document, jobs=1, cache_dir=None, verify=True):
     """
     from repro.runtime.run import run_synthesis
     from repro.stg.parse import parse_g
-    from repro.verify import verify_synthesis
 
     request = api.from_json(document)
     stg = parse_g(request.g_text)
     options = request.to_options(jobs=jobs, cache_dir=cache_dir)
+    if not verify:
+        # Server-side opt-out (--no-verify): downgrade to the static
+        # CSC re-check regardless of what the request asked for.
+        options = options.evolve(verify_level="csc")
     report = run_synthesis(stg, method=request.method, options=options)
-    verified = None
-    if verify and report.result is not None and report.status in (
-        "ok", "degraded",
-    ):
-        try:
-            verified = verify_synthesis(report.result, stg).conforms
-        except RuntimeError:
-            verified = None  # exploration cap reached: no verdict
-    response = api.response_from_report(
-        report, model=stg.name, verified=verified
-    )
+    response = api.response_from_report(report, model=stg.name)
     return api.to_json(response)
 
 
@@ -164,8 +157,10 @@ class SynthesisService:
         requests (each worker runs synthesis with ``jobs=1``; the
         service parallelises across requests, not within one).
     verify:
-        Run the gate-level conformance check on successful results and
-        record the verdict in ``response.verified``.
+        Honour each request's ``verify_level`` (default ``"hazards"``:
+        gate-level conformance plus persistency) and record the verdict
+        in ``response.verified``/``response.verify``.  ``False``
+        downgrades every request to the static ``csc`` re-check.
     executor:
         ``"process"`` (default), ``"thread"``, ``"inline"`` (run in the
         event loop thread -- deterministic, for tests), or a zero-arg

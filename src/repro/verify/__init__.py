@@ -19,8 +19,30 @@ delay) model and reports:
   fails to excite an output the specification requires;
 * **deadlocks** -- the closed loop gets stuck although the
   specification is live.
+
+:mod:`repro.verify.checker` is the leveled engine behind all of it:
+``csc`` (static coding re-check), ``conformance`` (the I/O checks
+above) and ``hazards`` (conformance plus excitation persistency, the
+semi-modularity / speed-independence condition), each violation
+carrying a minimal, replayable counterexample trace.
+:mod:`repro.verify.mutate` seeds circuit mutants (flipped cube
+literals, dropped cover terms, swapped reset values) that the negative
+test suite uses to prove the checker actually catches broken circuits.
 """
 
+from repro.verify.checker import (
+    CEX_KINDS,
+    VERIFY_LEVELS,
+    ClosedLoop,
+    Counterexample,
+    TraceReplayError,
+    VerifyReport,
+    check_circuit,
+    replay_counterexample,
+    replay_trace,
+    reset_vector,
+    verify_result,
+)
 from repro.verify.circuit import Circuit
 from repro.verify.conformance import (
     ConformanceReport,
@@ -28,11 +50,34 @@ from repro.verify.conformance import (
     check_conformance,
     verify_synthesis,
 )
+from repro.verify.mutate import (
+    MUTATION_KINDS,
+    Mutant,
+    mutant_circuit,
+    mutate_result,
+    observable_check,
+)
 
 __all__ = [
+    "CEX_KINDS",
     "Circuit",
+    "ClosedLoop",
     "ConformanceReport",
+    "Counterexample",
+    "MUTATION_KINDS",
+    "Mutant",
+    "TraceReplayError",
+    "VERIFY_LEVELS",
+    "VerifyReport",
     "Violation",
+    "check_circuit",
     "check_conformance",
+    "mutant_circuit",
+    "mutate_result",
+    "observable_check",
+    "replay_counterexample",
+    "replay_trace",
+    "reset_vector",
+    "verify_result",
     "verify_synthesis",
 ]

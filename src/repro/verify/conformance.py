@@ -1,28 +1,21 @@
 """Closed-loop conformance checking: circuit against STG environment.
 
-The closed loop is explored as a transition system whose states pair the
-circuit's value vector with a state of the specification's state graph Σ
-(the environment).  Moves:
-
-* an **input** transition fires when Σ enables it; both sides advance;
-* an **original non-input** (output/internal of the STG) fires when its
-  gate is excited; Σ must enable the corresponding transition, otherwise
-  the circuit produced an *unexpected output*;
-* an inserted **state signal** fires whenever its gate is excited; Σ does
-  not move.
-
-Speed independence is checked along every edge: a non-input that was
-excited must remain excited (or be the signal that fired) afterwards --
-otherwise some delay assignment glitches (*output hazard*).  In states
-where every state signal has settled, the excited original non-inputs
-must be exactly the ones Σ enables (*missing output* when one lacks).
+This is the historical front of the verifier, kept as a thin adapter
+over :mod:`repro.verify.checker`: :func:`check_conformance` runs the
+full ``hazards``-level pass (conformance plus excitation persistency --
+exactly what it always checked) and re-shapes the leveled
+:class:`~repro.verify.checker.VerifyReport` into the legacy
+:class:`ConformanceReport`.  New code should call
+:func:`~repro.verify.checker.check_circuit` /
+:func:`~repro.verify.checker.verify_result` directly for level
+selection, budget-aware traversal and replayable counterexamples.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from repro.verify.checker import DEFAULT_STATE_LIMIT, check_circuit
 
-_DEFAULT_STATE_LIMIT = 200_000
+_DEFAULT_STATE_LIMIT = DEFAULT_STATE_LIMIT
 
 
 class Violation:
@@ -84,149 +77,32 @@ def check_conformance(circuit, graph, max_states=_DEFAULT_STATE_LIMIT,
                       max_violations=10, initial_vector=None):
     """Model-check ``circuit`` against environment ``graph`` (Σ).
 
-    Parameters
-    ----------
-    circuit:
-        A :class:`~repro.verify.circuit.Circuit`.
-    graph:
-        The specification's state graph over the *original* signals; its
-        signal set must be a subset of the circuit's (the extras are the
-        inserted state signals).
-    max_states:
-        Exploration cap; exceeding it raises ``RuntimeError``.
-    max_violations:
-        Stop collecting after this many violations.
-    initial_vector:
-        Reset values for every circuit signal; defaults to the
-        specification's initial code with the state-signal gates settled
-        to a fixpoint from zero.
+    Runs the ``hazards``-level closed-loop pass (I/O conformance plus
+    excitation persistency) and reports in the legacy shape: both
+    persistency kinds fold into ``"output-hazard"`` and deadlocks are
+    returned as bare traces.  Exceeding ``max_states`` raises
+    ``RuntimeError``, as it always has.
 
     Returns
     -------
     ConformanceReport
     """
-    spec_signals = set(graph.signals)
-    unknown = spec_signals - set(circuit.signals)
-    if unknown:
-        raise ValueError(
-            f"specification signals missing from circuit: {sorted(unknown)}"
+    report = check_circuit(
+        circuit, graph, level="hazards", max_states=max_states,
+        max_violations=max_violations, initial_vector=initial_vector,
+    )
+    if report.truncated:
+        raise RuntimeError(
+            f"conformance exploration exceeded {max_states} states"
         )
-    state_signals = [
-        s for s in circuit.signals if s not in spec_signals
-    ]
-    spec_index = {s: circuit.index(s) for s in graph.signals}
-
-    if initial_vector is None:
-        # The specification's initial code, state signals at whatever
-        # value makes their gates stable: the gate fixpoint from zero.
-        initial_vector = _reset_vector(circuit, graph, spec_index)
-    else:
-        initial_vector = tuple(initial_vector)
-        if len(initial_vector) != len(circuit.signals):
-            raise ValueError("initial vector length mismatch")
-    initial = (initial_vector, graph.initial)
-
-    seen = {initial: None}  # state -> (previous state, fired signal)
-    queue = deque([initial])
     violations = []
     deadlocks = []
-
-    def trace_of(state):
-        trace = []
-        while seen[state] is not None:
-            state, fired = seen[state]
-            trace.append(fired)
-        return list(reversed(trace))
-
-    while queue and len(violations) < max_violations:
-        vector, spec_state = queue.popleft()
-        if len(seen) > max_states:
-            raise RuntimeError(
-                f"conformance exploration exceeded {max_states} states"
-            )
-        spec_enabled = {
-            label[0]: (label, target)
-            for label, target in graph.out_edges((spec_state))
-        }
-        excited = circuit.excited(vector)
-        moves = []
-
-        # Environment moves: inputs the specification may fire.
-        for signal, (label, target) in spec_enabled.items():
-            if signal not in circuit.inputs:
-                continue
-            moves.append((signal, circuit.fire(vector, signal), target))
-        # Circuit moves: every excited gate.
-        for signal in excited:
-            next_vector = circuit.fire(vector, signal)
-            if signal in spec_signals:
-                entry = spec_enabled.get(signal)
-                if entry is None:
-                    violations.append(
-                        Violation(
-                            "unexpected-output", signal, vector,
-                            trace_of((vector, spec_state)),
-                        )
-                    )
-                    continue
-                moves.append((signal, next_vector, entry[1]))
-            else:
-                moves.append((signal, next_vector, spec_state))
-
-        # Missing-output check: with the state signals settled, excited
-        # original non-inputs must cover everything the spec enables.
-        settled = all(s not in excited for s in state_signals)
-        if settled:
-            for signal in spec_enabled:
-                if signal not in circuit.inputs and signal not in excited:
-                    violations.append(
-                        Violation(
-                            "missing-output", signal, vector,
-                            trace_of((vector, spec_state)),
-                        )
-                    )
-
-        if not moves:
-            deadlocks.append(trace_of((vector, spec_state)))
+    for cex in report.violations:
+        if cex.kind == "deadlock":
+            deadlocks.append(list(cex.trace))
             continue
-
-        excited_set = set(excited)
-        for fired, next_vector, next_spec in moves:
-            # Semi-modularity: excited gates stay excited or fire.
-            after = set(circuit.excited(next_vector))
-            for signal in excited_set:
-                if signal != fired and signal not in after:
-                    violations.append(
-                        Violation(
-                            "output-hazard", signal, vector,
-                            trace_of((vector, spec_state)) + [fired],
-                        )
-                    )
-            successor = (next_vector, next_spec)
-            if successor not in seen:
-                seen[successor] = ((vector, spec_state), fired)
-                queue.append(successor)
-
-    return ConformanceReport(violations, len(seen), deadlocks)
-
-
-def _reset_vector(circuit, graph, spec_index):
-    """Initial values: spec code for original signals, gate fixpoint for
-    state signals (starting from 0)."""
-    values = {s: 0 for s in circuit.signals}
-    code = graph.code_of(graph.initial)
-    for signal, position in zip(graph.signals, range(len(graph.signals))):
-        values[signal] = code[position]
-    # Settle state signals: iterate their gates to a fixpoint (bounded).
-    state_signals = [s for s in circuit.signals if s not in spec_index]
-    for _ in range(len(state_signals) + 1):
-        vector = tuple(values[s] for s in circuit.signals)
-        changed = False
-        for signal in state_signals:
-            value = circuit.next_value(signal, vector)
-            if value != values[signal]:
-                values[signal] = value
-                changed = True
-        if not changed:
-            break
-    return tuple(values[s] for s in circuit.signals)
+        kind = "output-hazard" if cex.kind == "semi-modularity" else cex.kind
+        violations.append(
+            Violation(kind, cex.signal, cex.vector, list(cex.trace))
+        )
+    return ConformanceReport(violations, report.states_explored, deadlocks)

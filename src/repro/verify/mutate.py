@@ -1,0 +1,176 @@
+"""Seeded circuit mutants for negative verification tests.
+
+A checker that only ever sees correct circuits proves nothing; this
+module manufactures *almost*-correct ones.  Three mutation operators
+perturb a finished synthesis result the way real synthesis bugs would:
+
+``flip-literal``
+    Negate one bound literal of one cube -- the cover now covers the
+    wrong half-space around that variable.
+``drop-term``
+    Delete one cube from a multi-cube cover -- part of the ON-set goes
+    uncovered (a classic missing-product-term bug).
+``swap-reset``
+    Flip one gate's reset value -- the circuit powers up in a state the
+    specification never visits.
+
+Mutants are deterministic functions of the seed, so a failing mutant in
+CI reproduces locally.  :func:`observable_check` classifies cover
+mutants statically against the expanded graph's next-state tables:
+``"equivalent"`` means the mutated cover still implements the exact
+function on every reachable code, hence the closed loop is bit-for-bit
+the original and *must* verify clean (the suite's false-positive
+guard); ``"distinct"`` means the functions differ on a reachable code.
+``swap-reset`` mutants are ``"unknown"``: a flipped internal reset can
+settle back silently, so only the model check can judge them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.logic.cover import DASH, Cover, Cube
+
+#: Mutation operators, in enumeration order.
+MUTATION_KINDS = ("flip-literal", "drop-term", "swap-reset")
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One mutated circuit: full cover map plus reset vector.
+
+    ``covers`` always maps *every* non-input signal (unmutated gates
+    keep their original :class:`~repro.logic.cover.Cover`), so a
+    :class:`~repro.verify.circuit.Circuit` builds from it directly.
+    """
+
+    kind: str
+    signal: str
+    detail: str
+    covers: dict = field(repr=False)
+    initial_vector: tuple = field(repr=False)
+
+
+def mutate_result(result, seed=0, kinds=MUTATION_KINDS, per_kind=2):
+    """Deterministic mutants of a synthesis result.
+
+    Samples up to ``per_kind`` mutation sites per operator from the
+    result's covers with a PRNG seeded by ``seed``.  Results without
+    covers (``minimize=False``) yield no mutants.
+    """
+    if result.covers is None:
+        return []
+    rng = random.Random(seed)
+    signals = result.expanded.signals
+    base = dict(result.covers)
+    initial = tuple(result.expanded.code_of(result.expanded.initial))
+    ordered = sorted(base.items(), key=lambda item: item[0])
+    mutants = []
+
+    if "flip-literal" in kinds:
+        sites = [
+            (signal, cube_index, var_index)
+            for signal, cover in ordered
+            for cube_index, cube in enumerate(cover)
+            for var_index, position in enumerate(cube.positions)
+            if position != DASH
+        ]
+        for signal, cube_index, var_index in _sample(rng, sites, per_kind):
+            cover = base[signal]
+            positions = list(cover[cube_index].positions)
+            positions[var_index] = 1 - positions[var_index]
+            covers = dict(base)
+            covers[signal] = Cover(
+                cover.n,
+                [
+                    Cube(positions) if index == cube_index else cube
+                    for index, cube in enumerate(cover)
+                ],
+            )
+            mutants.append(Mutant(
+                "flip-literal", signal,
+                f"gate {signal}: cube {cube_index} literal "
+                f"{signals[var_index]} negated",
+                covers, initial,
+            ))
+
+    if "drop-term" in kinds:
+        sites = [
+            (signal, cube_index)
+            for signal, cover in ordered
+            if len(cover) > 1
+            for cube_index in range(len(cover))
+        ]
+        for signal, cube_index in _sample(rng, sites, per_kind):
+            cover = base[signal]
+            covers = dict(base)
+            covers[signal] = Cover(
+                cover.n,
+                [
+                    cube for index, cube in enumerate(cover)
+                    if index != cube_index
+                ],
+            )
+            mutants.append(Mutant(
+                "drop-term", signal,
+                f"gate {signal}: cube {cube_index} of "
+                f"{len(cover)} dropped",
+                covers, initial,
+            ))
+
+    if "swap-reset" in kinds:
+        sites = [signal for signal, _cover in ordered]
+        index_of = {s: i for i, s in enumerate(signals)}
+        for signal in _sample(rng, sites, per_kind):
+            index = index_of[signal]
+            vector = (
+                initial[:index] + (1 - initial[index],)
+                + initial[index + 1:]
+            )
+            mutants.append(Mutant(
+                "swap-reset", signal,
+                f"gate {signal}: reset value flipped to {vector[index]}",
+                dict(base), vector,
+            ))
+
+    return mutants
+
+
+def observable_check(result, mutant):
+    """Static classification of a mutant against the next-state tables.
+
+    Returns ``"equivalent"`` when the mutated covers still implement
+    the expanded graph's exact next-state functions on every reachable
+    code (same reset, same gates on every state the closed loop can
+    visit -- the mutant is the original circuit in behaviour),
+    ``"distinct"`` when some gate's function differs on a reachable
+    code, and ``"unknown"`` for reset mutants, which only the model
+    check can judge.
+    """
+    from repro.logic.espresso import verify_cover
+    from repro.logic.extract import next_state_tables
+
+    if mutant.kind == "swap-reset":
+        return "unknown"
+    tables = next_state_tables(result.expanded)
+    for signal, cover in mutant.covers.items():
+        onset, offset = tables[signal]
+        if verify_cover(cover, onset, offset):
+            return "distinct"
+    return "equivalent"
+
+
+def mutant_circuit(result, stg_inputs, mutant):
+    """``(Circuit, initial_vector)`` realising the mutant."""
+    from repro.verify.circuit import Circuit
+
+    circuit = Circuit(result.expanded.signals, stg_inputs, mutant.covers)
+    return circuit, mutant.initial_vector
+
+
+def _sample(rng, sites, count):
+    """Up to ``count`` sites, chosen deterministically by ``rng``."""
+    if not sites or count <= 0:
+        return []
+    return rng.sample(sites, min(count, len(sites)))

@@ -1,4 +1,21 @@
-"""Shared example STGs used across the test suite."""
+"""Shared example STGs and generated corpora used across the test suite.
+
+Three tiers of shared specimens:
+
+* the four hand-written examples (``HANDSHAKE`` .. ``CHOICE``, in
+  ``ALL``) -- minimal circuits with known properties;
+* :func:`generated_corpus` -- a fixed-seed slice of
+  :func:`repro.stg.generate.generate_stg` output (deterministic,
+  memoised, small enough for tier-1 budgets) reused by the
+  differential, verification and mutation suites;
+* the Hypothesis strategies :func:`controller` /
+  :func:`choice_controller` (moved here from ``test_fuzz_synthesis``)
+  plus the :func:`well_formed` filter they pair with.
+"""
+
+import functools
+
+from hypothesis import strategies as st
 
 # A clean two-signal handshake: no USC pair, no CSC conflict.
 HANDSHAKE = """
@@ -75,3 +92,121 @@ ALL = {
     "concurrent": CONCURRENT,
     "choice": CHOICE,
 }
+
+
+# -- seeded generated corpus -------------------------------------------------
+
+#: Fixed generator knobs for the shared corpus: a spread over signal
+#: count, concurrency width and CSC-conflict density, small enough that
+#: every method synthesises each circuit inside the tier-1 budget.
+GENERATED_SPECS = (
+    {"signals": 4, "width": 1, "csc_density": 0.0, "seed": 11},
+    {"signals": 5, "width": 2, "csc_density": 0.5, "seed": 23},
+    {"signals": 6, "width": 2, "csc_density": 1.0, "seed": 37},
+    {"signals": 6, "width": 3, "csc_density": 0.25, "seed": 49},
+)
+
+
+@functools.lru_cache(maxsize=1)
+def generated_corpus():
+    """The shared :class:`~repro.stg.generate.GeneratedStg` tuple.
+
+    Deterministic (fixed seeds) and memoised, so every suite sees the
+    same circuits without regenerating them per test.
+    """
+    from repro.stg.generate import generate_stg
+
+    return tuple(generate_stg(**spec) for spec in GENERATED_SPECS)
+
+
+# -- Hypothesis strategies ---------------------------------------------------
+
+
+def well_formed(text):
+    """Parse and validate generated ``.g`` text; ``None`` when the
+    random combination came out inconsistent (the caller skips it)."""
+    from repro.stg import parse_g, validate_stg
+
+    try:
+        stg = parse_g(text)
+        validate_stg(stg, require_live=True)
+        return stg
+    except Exception:
+        return None
+
+
+@st.composite
+def controller(draw):
+    """A random phase-cycle controller specification."""
+    from repro.bench.generators import Par, build_g
+
+    num_branches = draw(st.integers(min_value=1, max_value=2))
+    rising_branches = []
+    falling_branches = []
+    inputs = {"r"}
+    outputs = {"a", "e"}
+    for index in range(1, num_branches + 1):
+        kind = draw(st.sampled_from(["half", "open", "pulse"]))
+        d, q = f"d{index}", f"q{index}"
+        outputs.add(q)
+        if kind == "half":
+            inputs.add(d)
+            rising_branches.append([f"{d}+", f"{q}+"])
+            falling_branches.append([f"{d}-", f"{q}-"])
+        elif kind == "open":
+            inputs.add(d)
+            rising_branches.append(
+                [f"{d}+", f"{q}+", f"{d}-", f"{q}-", f"{d}+", f"{q}+"]
+            )
+            falling_branches.append([f"{d}-", f"{q}-"])
+        else:
+            rising_branches.append([f"{q}+"])
+            falling_branches.append([f"{q}-"])
+
+    def phase(branches):
+        if len(branches) == 1:
+            return list(branches[0])
+        return [Par(*branches)]
+
+    echo_first = draw(st.booleans())
+    tail = ["a-", "e+", "e-"] if echo_first else ["e+", "a-", "e-"]
+    cycle = (
+        ["r+"] + phase(rising_branches) + ["a+", "r-"]
+        + phase(falling_branches) + tail
+    )
+    return build_g(
+        "fuzz",
+        inputs=sorted(inputs),
+        outputs=sorted(outputs),
+        cycle=cycle,
+    )
+
+
+@st.composite
+def choice_controller(draw):
+    """A random controller with an environment-resolved free choice."""
+    from repro.bench.generators import Choice, build_g
+
+    # Both alternatives are input-led and leave every signal back at its
+    # entry value except d1/q1, which both alternatives complete.
+    alt1 = ["d1+", "q1+"]
+    alt2_prefix = draw(
+        st.sampled_from([["x+", "x-"], ["x+", "q2+", "x-", "q2-"]])
+    )
+    alt2 = alt2_prefix + ["d1+", "q1+"]
+    echo = draw(st.booleans())
+    tail = ["e+", "e-"] if echo else ["e+", "a-", "e-"]
+    cycle = (
+        ["r+", Choice(alt1, alt2), "a+", "r-", "d1-", "q1-"]
+        + (["a-"] if echo else [])
+        + tail
+    )
+    outputs = {"a", "e", "q1"}
+    if "q2+" in alt2:
+        outputs.add("q2")
+    return build_g(
+        "fuzz-choice",
+        inputs=["d1", "r", "x"],
+        outputs=sorted(outputs),
+        cycle=cycle,
+    )

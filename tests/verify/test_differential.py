@@ -23,8 +23,7 @@ from repro.stategraph import build_state_graph, csc_conflicts, quotient
 from repro.stg import parse_g
 from repro.verify import verify_synthesis
 
-from tests.example_stgs import ALL
-from tests.test_fuzz_synthesis import _well_formed, controller
+from tests.example_stgs import ALL, controller, generated_corpus, well_formed
 from tests.verify.test_conformance import SMALL_BENCHMARKS
 
 
@@ -103,6 +102,20 @@ def test_examples_differential(name, method):
     check_synthesis(stg, graph, METHODS[method](graph))
 
 
+@pytest.mark.parametrize("method", sorted(METHODS))
+@pytest.mark.parametrize(
+    "name", sorted(g.name for g in generated_corpus())
+)
+def test_generated_differential(name, method):
+    # The seeded generated corpus (fixed seeds, capped signal count)
+    # runs the same cross-method contract beyond the hand-written
+    # examples: CSC, behaviour preservation, and closed-loop
+    # conformance for every method variant.
+    generated = {g.name: g for g in generated_corpus()}[name]
+    graph = build_state_graph(generated.stg)
+    check_synthesis(generated.stg, graph, METHODS[method](graph))
+
+
 def test_warm_cache_differential(tmp_path):
     # The cached variant hits the filesystem, so it gets its own (non-
     # parametrized) pass over a benchmark and an example.
@@ -135,11 +148,12 @@ def test_sat_modes_agree(name):
 @settings(
     max_examples=8,
     deadline=None,
+    derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(controller())
 def test_fuzzed_controllers_differential(text):
-    stg = _well_formed(text)
+    stg = well_formed(text)
     if stg is None:
         return
     graph = build_state_graph(stg)

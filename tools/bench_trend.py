@@ -20,6 +20,9 @@ tool promises (dispatched on the document's ``schema`` field):
 * ``repro-service-bench/1`` -- ``server_5xx == 0``,
   ``duplicates_byte_identical``, the corpus and concurrency floors
   (``tools/loadtest.py``);
+* ``repro-verify-bench/1`` -- zero verifier failures/errors, matrix
+  coverage, Table-1 verified, mutants caught-and-replayed
+  (``tools/fuzz_verify.py``);
 * ``repro-bench/1`` -- structural check (``tools/check_bench_schema``).
 
 The threshold logic lives in the producing tools' ``check_document``
@@ -60,6 +63,7 @@ CHECKERS = {
     "repro-parallel-bench/1": "bench_parallel",
     "repro-crash-bench/1": "bench_crash",
     "repro-service-bench/1": "loadtest",
+    "repro-verify-bench/1": "fuzz_verify",
     "repro-bench/1": None,
 }
 
@@ -86,6 +90,11 @@ TREND_METRICS = {
         "latency_p50_seconds": "lower",
         "latency_p95_seconds": "lower",
         "cache_hit_rate": "higher",
+    },
+    "repro-verify-bench/1": {
+        "verified_rate": "higher",
+        "verify_failures": "lower",
+        "mutants_caught": "higher",
     },
     "repro-bench/1": {
         "total_cpu_seconds": "lower",
